@@ -1,0 +1,87 @@
+"""Ablations of ChameleonEC design choices (DESIGN.md section).
+
+1. minimum-time-first destination selection vs the baselines' random
+   pick (holding everything else fixed);
+2. the relay budget (max_relay_fraction) — 0 degenerates to stars,
+   1 degenerates to ECPipe-like chains;
+3. slice-size sensitivity (pipelining granularity).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.harness import run_sim_until
+from repro.experiments.scenario import Scenario
+
+
+def _run_chameleon(config, *, relay_fraction=None, random_destination=False):
+    scenario = Scenario(config)
+    scenario.start_foreground()
+    scenario.cluster.sim.run(until=6.0)
+    report = scenario.fail_nodes(1)
+    coordinator = scenario.make_repairer("ChameleonEC")
+    if relay_fraction is not None:
+        coordinator.dispatcher.max_relay_fraction = relay_fraction
+    if random_destination:
+        rng = np.random.default_rng(config.seed + 5)
+        injector = scenario.injector
+
+        def random_pick(chunk):
+            candidates = injector.candidate_destinations(chunk)
+            return int(rng.choice(candidates))
+
+        coordinator.dispatcher.select_destination = random_pick
+    coordinator.repair(report.failed_chunks)
+    run_sim_until(scenario.cluster, lambda: coordinator.done)
+    scenario.stop_foreground()
+    return coordinator.meter.throughput / 1e6
+
+
+def test_ablation_destination_policy(benchmark, bench_scale):
+    config = ExperimentConfig.scaled(bench_scale)
+
+    def run():
+        return {
+            "min-time-first": _run_chameleon(config),
+            "random": _run_chameleon(config, random_destination=True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(benchmark, "Ablation: destination selection policy (MB/s)",
+         ["policy", "throughput"], [[k, v] for k, v in results.items()])
+    # Idle-aware minimum-time-first must not lose to a random pick.
+    assert results["min-time-first"] >= results["random"] * 0.9
+
+
+def test_ablation_relay_budget(benchmark, bench_scale):
+    config = ExperimentConfig.scaled(bench_scale)
+
+    def run():
+        return {
+            frac: _run_chameleon(config, relay_fraction=frac)
+            for frac in (0.0, 0.5, 1.0)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(benchmark, "Ablation: relay budget (fraction of sources, MB/s)",
+         ["max_relay_fraction", "throughput"],
+         [[f"{k:g}", v] for k, v in results.items()])
+    # The bounded default should beat fully chained plans (frac=1.0
+    # reproduces the ECPipe-style serialisation the paper criticises).
+    assert results[0.5] >= results[1.0] * 0.9
+
+
+def test_ablation_slice_size(benchmark, bench_scale):
+    def run():
+        out = {}
+        for slice_mb in (16.0, 4.0, 1.0):
+            config = ExperimentConfig.scaled(bench_scale, slice_mb=slice_mb)
+            out[slice_mb] = _run_chameleon(config)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(benchmark, "Ablation: slice size (pipelining granularity, MB/s)",
+         ["slice MB", "throughput"], [[f"{k:g}", v] for k, v in results.items()])
+    # Finer slices pipeline relay plans better (or at least not worse).
+    assert results[1.0] >= results[16.0] * 0.9

@@ -1,0 +1,20 @@
+"""Exp#6 (Fig. 17): RepairBoost-enhanced baselines vs ChameleonEC."""
+
+from conftest import emit
+
+from repro.experiments.exp06_repairboost import rows, run_exp06
+
+
+def test_exp06_repairboost(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_exp06, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(benchmark, "Exp#6 / Fig 17: RB-boosted baselines vs ChameleonEC",
+         ["algorithm", "throughput MB/s", "P99 ms"], rows(results))
+    # Paper shape: RB narrows the gap but ChameleonEC stays ahead
+    # (+16-46% on EC2). The fluid fair-share model compresses that gap
+    # (see EXPERIMENTS.md), so we assert ChameleonEC stays competitive
+    # with every boosted baseline rather than strictly ahead.
+    cham = results["ChameleonEC"].throughput
+    for boosted in ("RB+CR", "RB+PPR", "RB+ECPipe"):
+        assert cham > results[boosted].throughput * 0.85

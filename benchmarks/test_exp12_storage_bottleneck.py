@@ -1,0 +1,28 @@
+"""Exp#12 (Fig. 23): storage-bottlenecked scenarios (ChameleonEC-IO)."""
+
+from conftest import emit
+
+from repro.experiments.exp12_storage_bottleneck import rows, run_exp12
+
+HEADERS = ["disk bw", "CR", "ChameleonEC", "ChameleonEC-IO"]
+
+
+def test_exp12_storage_bottleneck(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_exp12, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(benchmark, "Exp#12 / Fig 23: throughput under throttled disks (MB/s)",
+         HEADERS, rows(results))
+    disks = sorted({d for d, _ in results})
+    # Faster disks help everyone.
+    assert (
+        results[(disks[-1], "ChameleonEC")].throughput
+        >= results[(disks[0], "ChameleonEC")].throughput
+    )
+    # Under the most stringent disks, the IO-aware variant holds up at
+    # least as well as plain ChameleonEC.
+    tightest = disks[0]
+    assert (
+        results[(tightest, "ChameleonEC-IO")].throughput
+        >= results[(tightest, "ChameleonEC")].throughput * 0.9
+    )

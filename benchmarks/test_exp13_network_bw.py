@@ -1,0 +1,25 @@
+"""Exp#13 (Fig. 24): impact of network bandwidth (with foreground traffic)."""
+
+from conftest import emit
+
+from repro.experiments.exp13_network_bw import rows, run_exp13
+
+HEADERS = ["link bw", "CR", "PPR", "ECPipe", "ChameleonEC"]
+
+
+def test_exp13_network_bw(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_exp13,
+        kwargs={"scale": bench_scale, "bandwidths": (1.0, 4.0, 10.0)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(benchmark, "Exp#13 / Fig 24: repair throughput vs link bandwidth (MB/s)",
+         HEADERS, rows(results))
+    # Throughput grows with bandwidth.
+    for algorithm in ("CR", "ChameleonEC"):
+        assert results[(10.0, algorithm)].throughput > results[(1.0, algorithm)].throughput
+    # The relative ChameleonEC gain shrinks as links out-run the disks.
+    gain_1 = results[(1.0, "ChameleonEC")].throughput / results[(1.0, "CR")].throughput
+    gain_10 = results[(10.0, "ChameleonEC")].throughput / results[(10.0, "CR")].throughput
+    assert gain_10 <= gain_1 * 1.3

@@ -1,0 +1,43 @@
+"""Extension experiment: repair on a *heterogeneous* cluster.
+
+The paper's testbed has uniform 10 Gb/s links; real fleets mix NIC
+generations. Here a quarter of the nodes run at 2.5 Gb/s. Idle-bandwidth
+dispatch should route repair tasks around the slow nodes, so
+ChameleonEC's margin over the bandwidth-oblivious baselines widens
+relative to the uniform-cluster result (Exp#1).
+"""
+
+from conftest import emit
+
+from repro.cluster import gbps
+from repro.experiments import ExperimentConfig
+from repro.experiments.harness import run_repair_experiment
+from repro.experiments.scenario import Scenario
+
+ALGORITHMS = ("CR", "PPR", "ECPipe", "ChameleonEC")
+
+
+def run_heterogeneous(scale: float, seed: int = 0) -> dict[str, float]:
+    slow = {i: {"uplink_bw": gbps(2.5), "downlink_bw": gbps(2.5)} for i in (2, 7, 11, 15)}
+    results = {}
+    for algorithm in ALGORITHMS:
+        config = ExperimentConfig.scaled(scale, seed=seed)
+        scenario = Scenario(config)
+        # Rebuild the cluster with slow nodes before any traffic starts.
+        for node_id, params in slow.items():
+            node = scenario.cluster.node(node_id)
+            node.uplink.set_capacity(params["uplink_bw"])
+            node.downlink.set_capacity(params["downlink_bw"])
+        result = run_repair_experiment(config, algorithm, scenario=scenario)
+        results[algorithm] = result.throughput_mbs
+    return results
+
+
+def test_ext_heterogeneous_cluster(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_heterogeneous, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit(benchmark, "Extension: heterogeneous cluster (4/20 nodes at 2.5 Gb/s)",
+         ["algorithm", "throughput MB/s"], [[k, v] for k, v in results.items()])
+    for baseline in ("CR", "PPR", "ECPipe"):
+        assert results["ChameleonEC"] > results[baseline]

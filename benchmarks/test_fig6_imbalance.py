@@ -1,0 +1,20 @@
+"""Fig. 6: bandwidth utilisation of most/least-loaded links per algorithm."""
+
+from conftest import emit
+
+from repro.experiments.figures import fig6_rows, run_fig6
+
+
+def test_fig6_imbalance(benchmark, bench_scale):
+    stats = benchmark.pedantic(
+        run_fig6, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(benchmark, "Fig 6: most-loaded (ML) vs least-loaded (LL) links (Gb/s)",
+         ["link", "repair bw", "foreground bw", "total"], fig6_rows(stats))
+    # R2: utilisation is unbalanced — every algorithm's most-loaded link
+    # carries strictly more than its least-loaded one.
+    for algorithm in ("CR", "PPR", "ECPipe"):
+        for direction in ("up", "down"):
+            ml = sum(stats[(algorithm, direction, "ML")])
+            ll = sum(stats[(algorithm, direction, "LL")])
+            assert ml > ll

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Full-system demo: racked cluster, real payloads, recorded traces.
+
+Exercises the extension surfaces on top of the paper's core:
+
+1. a hierarchical cluster (4 racks, 3x oversubscribed core);
+2. a chunk store holding real encoded payloads (the Redis role);
+3. a trace recorded to CSV and replayed from the file;
+4. ChameleonEC repairing a failed node while the trace replays —
+   with every repaired chunk verified byte-for-byte at the end.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    MB,
+    BandwidthMonitor,
+    ChameleonRepair,
+    Cluster,
+    FailureInjector,
+    RSCode,
+    place_stripes,
+)
+from repro.cluster import drop_node_chunks, encode_and_load
+from repro.experiments import run_sim_until
+from repro.repair import DataPlane
+from repro.traffic import FileTrace, KeyRouter, TraceClient, record_trace, ycsb_a
+
+
+def main() -> None:
+    # --- 1. a hierarchical cluster -------------------------------------------
+    code = RSCode(10, 4)
+    cluster = Cluster(
+        num_nodes=20, num_clients=2, racks=4, oversubscription=3.0
+    )
+    store = place_stripes(code, 50, cluster.storage_ids, chunk_size=16 * MB, seed=11)
+    injector = FailureInjector(cluster, store)
+    print(f"cluster: 20 nodes in 4 racks (3x oversubscribed), {len(store)} "
+          f"stripes of {code.name}")
+
+    # --- 2. real payloads ------------------------------------------------------
+    chunk_store = encode_and_load(store, payload_size=512, seed=12)
+    print(f"chunk store: {len(chunk_store)} payloads encoded and loaded")
+
+    # --- 3. a recorded trace, replayed from disk -------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "ycsb_a.csv"
+        record_trace(ycsb_a(seed=13), 2_000, trace_path)
+        print(f"trace: recorded 2000 YCSB-A requests to {trace_path.name}")
+        router = KeyRouter(store, cluster)
+        clients = []
+        for i, node in enumerate(cluster.clients):
+            client = TraceClient(
+                cluster, node, FileTrace(trace_path), router,
+                num_requests=None, slice_size=1 * MB,
+            )
+            clients.append(client)
+            client.start()
+
+        monitor = BandwidthMonitor(cluster, window=2.0)
+        monitor.start()
+        cluster.sim.run(until=5.0)
+
+        # --- 4. fail, repair, verify -------------------------------------------
+        report = injector.fail_nodes([0])
+        lost = drop_node_chunks(chunk_store, store, 0)
+        print(f"node 0 failed: {len(report.failed_chunks)} chunks, "
+              f"{len(lost)} payloads dropped")
+        chameleon = ChameleonRepair(
+            cluster, store, injector, monitor,
+            chunk_size=16 * MB, slice_size=1 * MB, t_phase=5.0,
+        )
+        plane = DataPlane(chunk_store, store)
+        plane.attach(chameleon)
+        chameleon.repair(report.failed_chunks)
+        run_sim_until(cluster, lambda: chameleon.done, step=2.0)
+        for client in clients:
+            client.stop()
+
+        plane.verify()
+        print(f"repair: {chameleon.meter.throughput / 1e6:.1f} MB/s over "
+              f"{chameleon.phase_index} phase(s); "
+              f"{len(plane.repaired)} chunks restored, all byte-identical")
+        p99 = clients[0].latency.p99 * 1000
+        print(f"foreground: P99 {p99:.2f} ms across "
+              f"{sum(c.issued for c in clients)} replayed requests")
+
+
+if __name__ == "__main__":
+    main()

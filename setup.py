@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the ``wheel``
+package is unavailable (``pip install -e . --no-build-isolation``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,141 @@
+"""repro — a reproduction of ChameleonEC (HPCA 2025).
+
+ChameleonEC exploits the tunability of erasure coding for
+low-interference repair: it decomposes repair plans into upload/download
+tasks dispatched on idle bandwidth, establishes tunable transmission
+paths (Algorithm 1), and re-schedules around stragglers.
+
+Quick start::
+
+    from repro import (
+        Cluster, RSCode, place_stripes, FailureInjector,
+        BandwidthMonitor, ChameleonRepair, MB,
+    )
+
+    cluster = Cluster(num_nodes=20, num_clients=4)
+    code = RSCode(10, 4)
+    store = place_stripes(code, 200, cluster.storage_ids, chunk_size=64 * MB)
+    injector = FailureInjector(cluster, store)
+    report = injector.fail_nodes([0])
+    monitor = BandwidthMonitor(cluster)
+    monitor.start()
+    chameleon = ChameleonRepair(
+        cluster, store, injector, monitor,
+        chunk_size=64 * MB, slice_size=1 * MB,
+    )
+    chameleon.repair(report.failed_chunks)
+    while not chameleon.done:
+        cluster.sim.run(until=cluster.sim.now + 10.0)
+    print(chameleon.meter.throughput / 1e6, "MB/s")
+"""
+
+from repro.analysis import ReliabilityModel, loss_probability_curve
+from repro.cluster import (
+    GB,
+    KB,
+    MB,
+    ChunkId,
+    Cluster,
+    FailureInjector,
+    FailureReport,
+    Node,
+    Stripe,
+    StripeStore,
+    gbps,
+    mbs,
+    place_stripes,
+)
+from repro.codes import (
+    ButterflyCode,
+    ErasureCode,
+    LRCCode,
+    RSCode,
+    RepairEquation,
+    make_code,
+)
+from repro.core import ChameleonRepair, ChameleonRepairIO
+from repro.errors import (
+    CodingError,
+    PlanError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.metrics import (
+    LatencyRecorder,
+    LinkStatsCollector,
+    RepairThroughputMeter,
+    interference_degree,
+)
+from repro.monitor import BandwidthMonitor, ProgressTracker
+from repro.repair import (
+    ConventionalRepair,
+    ECPipe,
+    PPR,
+    RepairBoost,
+    RepairPlan,
+    RepairRunner,
+    execute_plan,
+)
+from repro.sim import Simulator
+from repro.traffic import (
+    KeyRouter,
+    TraceClient,
+    TransitioningTrace,
+    launch_clients,
+    make_trace,
+    ycsb_a,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "BandwidthMonitor",
+    "ButterflyCode",
+    "ChameleonRepair",
+    "ChameleonRepairIO",
+    "ChunkId",
+    "Cluster",
+    "CodingError",
+    "ConventionalRepair",
+    "ECPipe",
+    "ErasureCode",
+    "FailureInjector",
+    "FailureReport",
+    "KeyRouter",
+    "LRCCode",
+    "LatencyRecorder",
+    "LinkStatsCollector",
+    "Node",
+    "PPR",
+    "PlanError",
+    "ProgressTracker",
+    "ReliabilityModel",
+    "RepairBoost",
+    "RepairEquation",
+    "RepairPlan",
+    "RepairRunner",
+    "RepairThroughputMeter",
+    "ReproError",
+    "RSCode",
+    "SchedulingError",
+    "SimulationError",
+    "Simulator",
+    "Stripe",
+    "StripeStore",
+    "TraceClient",
+    "TransitioningTrace",
+    "execute_plan",
+    "gbps",
+    "interference_degree",
+    "launch_clients",
+    "loss_probability_curve",
+    "make_code",
+    "make_trace",
+    "mbs",
+    "place_stripes",
+    "ycsb_a",
+]

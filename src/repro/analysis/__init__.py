@@ -1,0 +1,8 @@
+"""Analytical models accompanying the system (reliability, Fig. 2)."""
+
+from repro.analysis.reliability import (
+    ReliabilityModel,
+    loss_probability_curve,
+)
+
+__all__ = ["ReliabilityModel", "loss_probability_curve"]

@@ -1,0 +1,72 @@
+"""Reliability analysis: data-loss probability vs repair throughput (Fig. 2).
+
+Implements the Section II-B model: node lifetimes are exponential with
+mean ``theta``; while a single-node repair of duration ``tau`` runs, the
+probability a given node fails is ``f = 1 - exp(-tau / theta)``. With
+RS(k, m) over ``k + m`` nodes, data is lost when ``m`` or more *additional*
+nodes fail during the repair:
+
+    Pr_dl = 1 - sum_{i=0}^{m-1} C(k+m-1, i) f^i (1-f)^{k+m-1-i}
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+YEARS = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Single-node-repair data-loss model for an RS(k, m) system."""
+
+    k: int = 10
+    m: int = 4
+    node_capacity_bytes: float = 96e12  # 96 TB per node (Section II-B)
+    node_lifetime_seconds: float = 10 * YEARS  # theta = 10 years
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.m < 1:
+            raise ReproError("k and m must be positive")
+        if self.node_capacity_bytes <= 0 or self.node_lifetime_seconds <= 0:
+            raise ReproError("capacity and lifetime must be positive")
+
+    def repair_duration(self, repair_throughput: float) -> float:
+        """Seconds to repair one full node at ``repair_throughput`` B/s."""
+        if repair_throughput <= 0:
+            raise ReproError("repair throughput must be positive")
+        return self.node_capacity_bytes / repair_throughput
+
+    def failure_probability(self, duration: float) -> float:
+        """P(a node fails within ``duration`` seconds)."""
+        return 1.0 - math.exp(-duration / self.node_lifetime_seconds)
+
+    def data_loss_probability(self, repair_throughput: float) -> float:
+        """Pr_dl during a single-node repair at the given throughput."""
+        tau = self.repair_duration(repair_throughput)
+        f = self.failure_probability(tau)
+        peers = self.k + self.m - 1
+        survive = 0.0
+        for i in range(self.m):
+            survive += (
+                math.comb(peers, i) * f**i * (1.0 - f) ** (peers - i)
+            )
+        return max(0.0, 1.0 - survive)
+
+    def mttdl_trend(self, repair_throughput: float) -> float:
+        """A relative MTTDL indicator: 1 / Pr_dl (larger is safer)."""
+        p = self.data_loss_probability(repair_throughput)
+        return float("inf") if p == 0 else 1.0 / p
+
+
+def loss_probability_curve(
+    throughputs_mbs: list[float], model: ReliabilityModel | None = None
+) -> list[tuple[float, float]]:
+    """(repair throughput MB/s, Pr_dl) pairs — the Fig. 2 series."""
+    model = model if model is not None else ReliabilityModel()
+    return [
+        (t, model.data_loss_probability(t * 1e6)) for t in throughputs_mbs
+    ]

@@ -1,0 +1,27 @@
+"""Cluster model: nodes, placement, stripe metadata, failures."""
+
+from repro.cluster.datastore import ChunkStore, drop_node_chunks, encode_and_load
+from repro.cluster.failures import FailureInjector, FailureReport
+from repro.cluster.node import GB, KB, MB, Node, gbps, mbs
+from repro.cluster.placement import place_stripes
+from repro.cluster.stripes import ChunkId, Stripe, StripeStore
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "ChunkId",
+    "ChunkStore",
+    "Cluster",
+    "drop_node_chunks",
+    "encode_and_load",
+    "FailureInjector",
+    "FailureReport",
+    "Node",
+    "Stripe",
+    "StripeStore",
+    "gbps",
+    "mbs",
+    "place_stripes",
+]

@@ -1,0 +1,89 @@
+"""In-memory chunk payload storage (the prototype's Redis role).
+
+The simulator moves byte *counts*; this store holds actual chunk
+*contents* so repairs can be verified end to end. Payload size is
+decoupled from the simulated chunk size (timing uses ``chunk_size``,
+contents use a small ``payload_size``) — the math is identical and tests
+stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.stripes import ChunkId, StripeStore
+from repro.errors import SimulationError
+
+
+class ChunkStore:
+    """Payloads for every chunk of every stripe, plus the ground truth."""
+
+    def __init__(self) -> None:
+        self._payloads: dict[ChunkId, np.ndarray] = {}
+        self._truth: dict[ChunkId, np.ndarray] = {}
+
+    def put(self, chunk: ChunkId, payload: np.ndarray, *, truth: bool = False) -> None:
+        """Store a payload; ``truth=True`` also records it as ground truth."""
+        data = np.asarray(payload, dtype=np.uint8)
+        self._payloads[chunk] = data
+        if truth:
+            self._truth[chunk] = data.copy()
+
+    def get(self, chunk: ChunkId) -> np.ndarray:
+        """The stored payload of ``chunk`` (raises if lost/missing)."""
+        try:
+            return self._payloads[chunk]
+        except KeyError:
+            raise SimulationError(f"no payload stored for {chunk}") from None
+
+    def has(self, chunk: ChunkId) -> bool:
+        """True if a payload is currently stored for ``chunk``."""
+        return chunk in self._payloads
+
+    def drop(self, chunk: ChunkId) -> None:
+        """Lose a chunk's contents (its node died)."""
+        self._payloads.pop(chunk, None)
+
+    def truth(self, chunk: ChunkId) -> np.ndarray:
+        """The originally encoded bytes of ``chunk``."""
+        try:
+            return self._truth[chunk]
+        except KeyError:
+            raise SimulationError(f"no ground truth recorded for {chunk}") from None
+
+    def matches_truth(self, chunk: ChunkId) -> bool:
+        """True when the stored payload equals the original encoding."""
+        return self.has(chunk) and np.array_equal(self.get(chunk), self.truth(chunk))
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+
+def encode_and_load(
+    stripe_store: StripeStore, *, payload_size: int = 256, seed: int = 0
+) -> ChunkStore:
+    """Generate random data, encode every stripe, and load the store."""
+    if payload_size < 2 or payload_size % 2 != 0:
+        raise SimulationError("payload_size must be an even integer >= 2")
+    rng = np.random.default_rng(seed)
+    code = stripe_store.code
+    chunk_store = ChunkStore()
+    for stripe_id in stripe_store.stripes:
+        data = [
+            rng.integers(0, 256, payload_size, dtype=np.uint8)
+            for _ in range(code.k)
+        ]
+        encoded = code.encode(data)
+        for index, payload in enumerate(encoded):
+            chunk_store.put(ChunkId(stripe_id, index), payload, truth=True)
+    return chunk_store
+
+
+def drop_node_chunks(
+    chunk_store: ChunkStore, stripe_store: StripeStore, node_id: int
+) -> list[ChunkId]:
+    """Simulate data loss: drop every payload stored on ``node_id``."""
+    lost = stripe_store.chunks_on_node(node_id)
+    for chunk in lost:
+        chunk_store.drop(chunk)
+    return lost

@@ -1,0 +1,57 @@
+"""Failure injection and repair-candidate queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.stripes import ChunkId, StripeStore
+from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
+
+
+@dataclass
+class FailureReport:
+    """Outcome of failing one or more nodes."""
+
+    failed_nodes: list[int]
+    failed_chunks: list[ChunkId]
+
+
+class FailureInjector:
+    """Fails nodes and answers the coordinator's placement queries."""
+
+    def __init__(self, cluster: Cluster, store: StripeStore) -> None:
+        self.cluster = cluster
+        self.store = store
+
+    def fail_nodes(self, node_ids: list[int]) -> FailureReport:
+        """Kill ``node_ids``; returns every chunk that must be repaired."""
+        tolerance = self.store.code.fault_tolerance()
+        already_failed = self.cluster.failed_node_ids()
+        if len(already_failed | set(node_ids)) > tolerance:
+            raise SimulationError(
+                f"failing {node_ids} exceeds the {tolerance}-failure tolerance "
+                f"of {self.store.code.name}"
+            )
+        chunks: list[ChunkId] = []
+        for node_id in node_ids:
+            self.cluster.fail_node(node_id)
+            chunks.extend(self.store.chunks_on_node(node_id))
+        return FailureReport(failed_nodes=list(node_ids), failed_chunks=chunks)
+
+    def surviving_sources(self, chunk: ChunkId) -> dict[int, int]:
+        """Surviving chunk-index -> node-id for the chunk's stripe."""
+        return self.store.survivors(chunk, self.cluster.failed_node_ids())
+
+    def candidate_destinations(self, chunk: ChunkId) -> list[int]:
+        """Alive storage nodes that hold no chunk of this stripe.
+
+        Repairing onto such a node keeps the stripe spread across n
+        distinct nodes, preserving fault tolerance (Section III-A).
+        """
+        stripe_nodes = self.store.stripes[chunk.stripe].nodes()
+        return [
+            node_id
+            for node_id in self.cluster.alive_storage_ids()
+            if node_id not in stripe_nodes
+        ]

@@ -1,0 +1,34 @@
+"""Random stripe placement across storage nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.stripes import Stripe, StripeStore
+from repro.codes.base import ErasureCode
+from repro.errors import SimulationError
+
+
+def place_stripes(
+    code: ErasureCode,
+    num_stripes: int,
+    storage_node_ids: list[int],
+    chunk_size: int,
+    seed: int = 0,
+) -> StripeStore:
+    """Place ``num_stripes`` stripes uniformly at random, one chunk per node.
+
+    This matches the paper's setup: chunks of each stripe are spread over
+    ``n`` distinct nodes so the stripe tolerates ``m`` node failures.
+    """
+    if len(storage_node_ids) < code.n:
+        raise SimulationError(
+            f"{code.name} needs {code.n} nodes, cluster has {len(storage_node_ids)}"
+        )
+    rng = np.random.default_rng(seed)
+    store = StripeStore(code=code, chunk_size=chunk_size)
+    ids = np.asarray(storage_node_ids)
+    for stripe_id in range(num_stripes):
+        chosen = rng.choice(ids, size=code.n, replace=False)
+        store.add(Stripe(stripe_id=stripe_id, chunk_nodes=[int(x) for x in chosen]))
+    return store

@@ -1,0 +1,94 @@
+"""Stripe and chunk metadata (the coordinator's view of placement)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codes.base import ErasureCode
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ChunkId:
+    """Identifies one chunk: (stripe, index-within-stripe)."""
+
+    stripe: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.stripe}c{self.index}"
+
+
+@dataclass
+class Stripe:
+    """One coding group: which node stores each of the n chunks."""
+
+    stripe_id: int
+    chunk_nodes: list[int]  # chunk index -> node id
+
+    def node_of(self, index: int) -> int:
+        """The node storing chunk ``index`` of this stripe."""
+        return self.chunk_nodes[index]
+
+    def nodes(self) -> set[int]:
+        """Every node holding a chunk of this stripe."""
+        return set(self.chunk_nodes)
+
+    def chunks_on(self, node_id: int) -> list[int]:
+        """Chunk indices of this stripe stored on ``node_id``."""
+        return [i for i, n in enumerate(self.chunk_nodes) if n == node_id]
+
+
+@dataclass
+class StripeStore:
+    """All stripes of the system plus the code that produced them."""
+
+    code: ErasureCode
+    chunk_size: int
+    stripes: dict[int, Stripe] = field(default_factory=dict)
+
+    def add(self, stripe: Stripe) -> None:
+        """Register a stripe (validating width and node uniqueness)."""
+        if len(stripe.chunk_nodes) != self.code.n:
+            raise SimulationError(
+                f"stripe {stripe.stripe_id} has {len(stripe.chunk_nodes)} chunks, "
+                f"code {self.code.name} needs {self.code.n}"
+            )
+        if len(set(stripe.chunk_nodes)) != self.code.n:
+            raise SimulationError(
+                f"stripe {stripe.stripe_id} places multiple chunks on one node"
+            )
+        self.stripes[stripe.stripe_id] = stripe
+
+    def node_of(self, chunk: ChunkId) -> int:
+        """The node currently holding ``chunk``."""
+        return self.stripes[chunk.stripe].node_of(chunk.index)
+
+    def relocate(self, chunk: ChunkId, node_id: int) -> None:
+        """Update metadata after a chunk is repaired onto a new node."""
+        stripe = self.stripes[chunk.stripe]
+        if node_id in stripe.nodes() and stripe.node_of(chunk.index) != node_id:
+            raise SimulationError(
+                f"relocating {chunk} onto node {node_id} would double-place a stripe"
+            )
+        stripe.chunk_nodes[chunk.index] = node_id
+
+    def chunks_on_node(self, node_id: int) -> list[ChunkId]:
+        """Every chunk stored on ``node_id`` (the full-node repair set)."""
+        found = []
+        for stripe in self.stripes.values():
+            for index in stripe.chunks_on(node_id):
+                found.append(ChunkId(stripe.stripe_id, index))
+        return found
+
+    def survivors(self, chunk: ChunkId, failed_nodes: set[int]) -> dict[int, int]:
+        """Surviving chunk-index -> node-id map for the chunk's stripe."""
+        stripe = self.stripes[chunk.stripe]
+        return {
+            i: n
+            for i, n in enumerate(stripe.chunk_nodes)
+            if n not in failed_nodes and i != chunk.index
+        }
+
+    def __len__(self) -> int:
+        return len(self.stripes)

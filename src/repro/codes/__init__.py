@@ -1,0 +1,17 @@
+"""Erasure code constructions: Reed-Solomon, LRC, Butterfly."""
+
+from repro.codes.base import ErasureCode, LinearCode, RepairEquation
+from repro.codes.butterfly import ButterflyCode
+from repro.codes.lrc import LRCCode
+from repro.codes.registry import make_code
+from repro.codes.rs import RSCode
+
+__all__ = [
+    "ButterflyCode",
+    "ErasureCode",
+    "LRCCode",
+    "LinearCode",
+    "RSCode",
+    "RepairEquation",
+    "make_code",
+]

@@ -1,0 +1,233 @@
+"""Abstract erasure-code interfaces shared by RS, LRC, and Butterfly codes.
+
+A code over a stripe of ``n = k + m_total`` chunks is described by chunk
+indices ``0 .. n-1``; indices ``0 .. k-1`` are the systematic data chunks.
+Linear codes additionally expose a generator matrix ``G`` (n x k over
+GF(2^8)) with ``chunk_i = sum_j G[i, j] * data_j``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CodingError
+from repro.gf.field import as_field_array
+from repro.gf.matrix import matvec_data, rank, solve
+from repro.gf.tables import MUL_TABLE
+
+
+@dataclass(frozen=True)
+class RepairEquation:
+    """A linear repair recipe: ``chunk[failed] = xor_i coeff_i * chunk[i]``.
+
+    ``read_fraction`` is the fraction of each source chunk that must be
+    read and transferred (1.0 for RS/LRC; 0.5 for Butterfly sub-chunk
+    repair, where the equation is over half-chunks and kept only for
+    traffic accounting).
+    """
+
+    failed: int
+    coefficients: dict[int, int] = field(default_factory=dict)
+    read_fraction: float = 1.0
+
+    @property
+    def sources(self) -> list[int]:
+        """Chunk indices read by this repair, in ascending order."""
+        return sorted(self.coefficients)
+
+    @property
+    def traffic_chunks(self) -> float:
+        """Repair traffic in units of one chunk size."""
+        return len(self.coefficients) * self.read_fraction
+
+
+class ErasureCode(ABC):
+    """Common interface for all codes: encode, decode, repair recipes."""
+
+    #: Whether relays may combine partially decoded chunks in transit.
+    #: True for linear whole-chunk codes; False for sub-chunk codes like
+    #: Butterfly, where ChameleonEC falls back to direct transfers (the
+    #: paper makes the same restriction for Butterfly(4,2)).
+    supports_partial_combine: bool = True
+
+    def __init__(self, k: int, m_total: int) -> None:
+        if k < 1 or m_total < 1:
+            raise CodingError(f"invalid code parameters k={k}, m={m_total}")
+        self.k = k
+        self.m_total = m_total
+        self.n = k + m_total
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable code name, e.g. ``RS(10,4)``."""
+
+    @abstractmethod
+    def encode(self, data_chunks: list[np.ndarray]) -> list[np.ndarray]:
+        """Encode ``k`` data chunks into the full stripe of ``n`` chunks."""
+
+    @abstractmethod
+    def decode(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Reconstruct the full stripe from any decodable subset."""
+
+    @abstractmethod
+    def repair_equation(
+        self, failed: int, available: set[int] | None = None
+    ) -> RepairEquation:
+        """Repair recipe for a single failed chunk.
+
+        ``available`` restricts usable sources (defaults to all other
+        chunks). Raises :class:`CodingError` if the failure cannot be
+        repaired from the given survivors.
+        """
+
+    def fault_tolerance(self) -> int:
+        """Number of arbitrary concurrent chunk failures always tolerated."""
+        return self.m_total
+
+    def validate_stripe(self, chunks: list[np.ndarray]) -> bool:
+        """True if ``chunks`` is a consistent codeword of this code."""
+        if len(chunks) != self.n:
+            return False
+        re_encoded = self.encode([as_field_array(c) for c in chunks[: self.k]])
+        return all(np.array_equal(a, b) for a, b in zip(re_encoded, chunks))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{self.name}>"
+
+
+class LinearCode(ErasureCode):
+    """A code defined by an ``n x k`` generator matrix over GF(2^8)."""
+
+    def __init__(self, k: int, m_total: int, generator: np.ndarray) -> None:
+        super().__init__(k, m_total)
+        generator = np.asarray(generator, dtype=np.uint8)
+        if generator.shape != (self.n, k):
+            raise CodingError(
+                f"generator must be {self.n}x{k}, got {generator.shape}"
+            )
+        if not np.array_equal(generator[:k], np.eye(k, dtype=np.uint8)):
+            raise CodingError("generator must be systematic (identity on top)")
+        self.generator = generator
+
+    def encode(self, data_chunks: list[np.ndarray]) -> list[np.ndarray]:
+        """Encode ``k`` data chunks: data (copied) + parity rows of G."""
+        if len(data_chunks) != self.k:
+            raise CodingError(f"{self.name} expects {self.k} data chunks")
+        buffers = [as_field_array(c) for c in data_chunks]
+        length = len(buffers[0])
+        if any(len(b) != length for b in buffers):
+            raise CodingError("all data chunks must have equal length")
+        parity = matvec_data(self.generator[self.k :], buffers)
+        return [b.copy() for b in buffers] + parity
+
+    def decode(self, available: dict[int, np.ndarray]) -> list[np.ndarray]:
+        """Reconstruct the stripe from any spanning chunk subset."""
+        known = {i: as_field_array(c) for i, c in available.items()}
+        if len(known) < self.k:
+            raise CodingError(
+                f"{self.name}: need at least {self.k} chunks, got {len(known)}"
+            )
+        indices = sorted(known)
+        # Pick k rows whose generator submatrix has full rank.
+        chosen = self._spanning_subset(indices)
+        sub = self.generator[chosen]
+        inv_rows = solve(sub, np.eye(self.k, dtype=np.uint8))
+        data = matvec_data(inv_rows, [known[i] for i in chosen])
+        stripe = self.encode(data)
+        # Preserve the caller's buffers for chunks it already has.
+        for i, buf in known.items():
+            stripe[i] = buf.copy()
+        return stripe
+
+    def repair_equation(
+        self, failed: int, available: set[int] | None = None
+    ) -> RepairEquation:
+        """Minimal-source linear recipe for one failed chunk."""
+        if not 0 <= failed < self.n:
+            raise CodingError(f"chunk index {failed} out of range for {self.name}")
+        usable = set(range(self.n)) - {failed}
+        if available is not None:
+            usable &= set(available)
+        coeffs = self._combination_from(sorted(usable), failed)
+        return RepairEquation(failed=failed, coefficients=coeffs)
+
+    def _spanning_subset(self, indices: list[int]) -> list[int]:
+        """Greedily pick k indices whose generator rows are independent."""
+        chosen: list[int] = []
+        basis = np.zeros((0, self.k), dtype=np.uint8)
+        for i in indices:
+            candidate = np.vstack([basis, self.generator[i : i + 1]])
+            if rank(candidate) > len(chosen):
+                basis = candidate
+                chosen.append(i)
+                if len(chosen) == self.k:
+                    return chosen
+        raise CodingError(f"{self.name}: available chunks do not span the data")
+
+    def _combination_from(self, candidates: list[int], target: int) -> dict[int, int]:
+        """Express generator row ``target`` as a combination of candidate rows.
+
+        Prefers a minimal set of sources: tries increasing subset sizes of
+        a spanning basis. For MDS codes this yields exactly k sources; for
+        LRCs it finds the small local-group repair automatically.
+        """
+        target_row = self.generator[target].astype(np.int32)
+        # Solve c^T * G[candidates] = target_row, i.e. G[candidates]^T c = target^T.
+        sub = self.generator[candidates]
+        a = sub.astype(np.int32).T  # k x len(candidates)
+        coeffs = _solve_underdetermined(a, target_row)
+        if coeffs is None:
+            raise CodingError(
+                f"{self.name}: cannot repair chunk {target} from {candidates}"
+            )
+        return {
+            candidates[j]: int(c) for j, c in enumerate(coeffs) if c != 0
+        }
+
+
+def _solve_underdetermined(a: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Solve ``a @ x = rhs`` over GF(2^8) with a possibly wide matrix ``a``.
+
+    Gaussian elimination with partial pivoting over columns; free
+    variables are set to zero, which naturally minimises the number of
+    sources used when the leading columns form a sparse local repair.
+    Returns None if inconsistent.
+    """
+    a = a.astype(np.int32).copy()
+    rhs = rhs.astype(np.int32).copy()
+    rows, cols = a.shape
+    pivots: list[tuple[int, int]] = []
+    r = 0
+    for c in range(cols):
+        if r == rows:
+            break
+        pivot_row = next((i for i in range(r, rows) if a[i, c] != 0), None)
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            a[[r, pivot_row]] = a[[pivot_row, r]]
+            rhs[[r, pivot_row]] = rhs[[pivot_row, r]]
+        from repro.gf.field import gf_inv
+
+        inv = gf_inv(int(a[r, c]))
+        a[r] = MUL_TABLE[inv][a[r]]
+        rhs[r] = MUL_TABLE[inv][int(rhs[r])]
+        for i in range(rows):
+            if i != r and a[i, c] != 0:
+                factor = int(a[i, c])
+                a[i] ^= MUL_TABLE[factor][a[r]]
+                rhs[i] ^= int(MUL_TABLE[factor][int(rhs[r])])
+        pivots.append((r, c))
+        r += 1
+    # Consistency: rows below rank must have zero rhs.
+    for i in range(r, rows):
+        if rhs[i] != 0:
+            return None
+    x = np.zeros(cols, dtype=np.uint8)
+    for row, col in pivots:
+        x[col] = rhs[row]
+    return x

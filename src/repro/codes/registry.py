@@ -1,0 +1,40 @@
+"""Name-based construction of erasure codes, e.g. ``make_code("RS(10,4)")``."""
+
+from __future__ import annotations
+
+import re
+
+from repro.codes.base import ErasureCode
+from repro.codes.butterfly import ButterflyCode
+from repro.codes.lrc import LRCCode
+from repro.codes.rs import RSCode
+from repro.errors import CodingError
+
+_PATTERNS = [
+    (re.compile(r"^RS\((\d+),(\d+)\)$"), lambda k, m: RSCode(int(k), int(m))),
+    (
+        re.compile(r"^LRC\((\d+),(\d+),(\d+)\)$"),
+        lambda k, l, m: LRCCode(int(k), int(l), int(m)),
+    ),
+    (re.compile(r"^Butterfly\((\d+),(\d+)\)$"), lambda n, k: _butterfly(int(n), int(k))),
+]
+
+
+def _butterfly(n: int, k: int) -> ButterflyCode:
+    # The paper names it Butterfly(n, k) = Butterfly(4, 2).
+    if (n, k) != (4, 2):
+        raise CodingError("only Butterfly(4,2) is supported")
+    return ButterflyCode()
+
+
+def make_code(spec: str) -> ErasureCode:
+    """Build a code from a paper-style name.
+
+    Accepted forms: ``RS(k,m)``, ``LRC(k,l,m)``, ``Butterfly(4,2)``.
+    """
+    compact = spec.replace(" ", "")
+    for pattern, factory in _PATTERNS:
+        match = pattern.match(compact)
+        if match:
+            return factory(*match.groups())
+    raise CodingError(f"unrecognised code spec {spec!r}")

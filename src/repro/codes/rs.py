@@ -1,0 +1,36 @@
+"""Reed-Solomon codes RS(k, m) over GF(2^8)."""
+
+from __future__ import annotations
+
+from repro.codes.base import LinearCode
+from repro.errors import CodingError
+from repro.gf.matrix import rs_generator_cauchy, rs_generator_vandermonde
+
+
+class RSCode(LinearCode):
+    """Systematic Reed-Solomon code with ``k`` data and ``m`` parity chunks.
+
+    ``matrix`` selects the construction: ``"cauchy"`` (default, the
+    construction the ChameleonEC prototype uses through Jerasure) or
+    ``"vandermonde"``.
+    """
+
+    def __init__(self, k: int, m: int, matrix: str = "cauchy") -> None:
+        if matrix == "cauchy":
+            generator = rs_generator_cauchy(k, m)
+        elif matrix == "vandermonde":
+            generator = rs_generator_vandermonde(k, m)
+        else:
+            raise CodingError(f"unknown RS matrix construction {matrix!r}")
+        super().__init__(k, m, generator)
+        self.m = m
+        self.matrix_kind = matrix
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``RS(10,4)``."""
+        return f"RS({self.k},{self.m})"
+
+    def is_data_chunk(self, index: int) -> bool:
+        """True for systematic (data) chunk indices."""
+        return 0 <= index < self.k

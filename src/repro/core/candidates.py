@@ -1,0 +1,29 @@
+"""Which survivors may serve a repair, and how many must participate."""
+
+from __future__ import annotations
+
+from repro.codes.base import ErasureCode
+from repro.codes.rs import RSCode
+from repro.errors import SchedulingError
+
+
+def repair_candidates(
+    code: ErasureCode, failed_index: int, survivors: dict[int, int]
+) -> tuple[dict[int, int], int]:
+    """(candidate chunk-index -> node-id, required source count).
+
+    For MDS codes (RS) any ``k`` of the survivors decode, so every
+    survivor is a candidate and the dispatcher is free to pick the best
+    k. Structural codes (LRC local groups, Butterfly recipes) fix the
+    source set: the candidates *are* the required sources.
+    """
+    if isinstance(code, RSCode):
+        if len(survivors) < code.k:
+            raise SchedulingError(
+                f"{code.name}: {len(survivors)} survivors cannot repair chunk "
+                f"{failed_index} (need {code.k})"
+            )
+        return dict(survivors), code.k
+    equation = code.repair_equation(failed_index, set(survivors))
+    chosen = {idx: survivors[idx] for idx in equation.sources}
+    return chosen, len(chosen)

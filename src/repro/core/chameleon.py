@@ -1,0 +1,370 @@
+"""The ChameleonEC coordinator: phases, dispatch, plans, re-scheduling.
+
+Brings the three design techniques together (Section III):
+
+* the repair is cut into *phases* of ``t_phase`` seconds; each phase
+  admits as many failed chunks as the idle bandwidth is estimated to
+  absorb (Section III-A);
+* every admitted chunk gets a tunable plan from Algorithm 1
+  (Section III-B);
+* while a phase runs, progress checks detect stragglers and react with
+  transmission re-ordering and repair re-tuning (Section III-C).
+
+Multi-node failures are handled by the three Section III-D orderings:
+``sequential`` (node after node), ``priority`` (stripes with more failed
+chunks first) and ``fastest`` (cheapest repairs first).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.stripes import ChunkId, StripeStore
+from repro.cluster.topology import Cluster
+from repro.errors import SchedulingError
+from repro.metrics.throughput import RepairThroughputMeter
+from repro.monitor.bandwidth import BandwidthMonitor
+from repro.monitor.progress import ProgressTracker, TrackedTask
+from repro.repair.instance import PlanInstance
+from repro.core.dispatch import TaskDispatcher
+from repro.core.planner import build_plan
+
+MULTI_NODE_POLICIES = ("sequential", "priority", "fastest")
+
+
+class ChameleonRepair:
+    """Coordinator driving low-interference repair of a chunk batch."""
+
+    name = "ChameleonEC"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        store: StripeStore,
+        injector: FailureInjector,
+        monitor: BandwidthMonitor,
+        *,
+        chunk_size: float,
+        slice_size: float,
+        t_phase: float = 20.0,
+        check_interval: float = 1.0,
+        straggler_threshold: float = 2.0,
+        enable_reordering: bool = True,
+        enable_retuning: bool = True,
+        io_aware: bool = False,
+        multi_node_policy: str = "priority",
+        final_write: bool = True,
+        max_inflight: int = 8,
+        on_all_done: Callable[["ChameleonRepair"], None] | None = None,
+    ) -> None:
+        if t_phase <= 0:
+            raise SchedulingError("t_phase must be positive")
+        if multi_node_policy not in MULTI_NODE_POLICIES:
+            raise SchedulingError(
+                f"unknown multi-node policy {multi_node_policy!r}; "
+                f"choose from {MULTI_NODE_POLICIES}"
+            )
+        self.cluster = cluster
+        self.store = store
+        self.injector = injector
+        self.monitor = monitor
+        self.chunk_size = chunk_size
+        self.slice_size = slice_size
+        self.t_phase = t_phase
+        self.check_interval = check_interval
+        self.enable_reordering = enable_reordering
+        self.enable_retuning = enable_retuning
+        self.multi_node_policy = multi_node_policy
+        self.final_write = final_write
+        if max_inflight < 1:
+            raise SchedulingError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
+        self.on_all_done = on_all_done
+        self.dispatcher = TaskDispatcher(
+            injector, monitor, chunk_size=chunk_size, io_aware=io_aware
+        )
+        self.tracker = ProgressTracker(threshold=straggler_threshold)
+        self.meter = RepairThroughputMeter()
+        #: Fired as (chunk, final plan) when a chunk's repair completes;
+        #: the data plane subscribes here to move real bytes.
+        self.on_chunk_repaired: list = []
+        self.pending: list[ChunkId] = []
+        self.in_flight: dict[ChunkId, PlanInstance] = {}
+        self.completed: list[ChunkId] = []
+        self._stripes_busy: set[int] = set()
+        self._paused: list[PlanInstance] = []
+        self._started = False
+        self._finished = False
+        self._phase_admitted = 0
+        self._phase_budget_exhausted = False
+        self._replanned: set[ChunkId] = set()
+        self.phase_index = 0
+        self.retunes = 0
+        self.reorders = 0
+        self.replans = 0
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once every requested chunk is repaired."""
+        return self._finished
+
+    def repair(self, chunks: list[ChunkId]) -> None:
+        """Begin phase-based repair of ``chunks`` (then run the simulator)."""
+        if self._started:
+            raise SchedulingError("coordinator already started")
+        self._started = True
+        self.pending = self._order_chunks(list(chunks))
+        self.meter.start(self.cluster.sim.now)
+        if not self.pending:
+            self._finish()
+            return
+        self._start_phase()
+
+    # -- chunk ordering (Section III-D) -------------------------------------------
+
+    def _order_chunks(self, chunks: list[ChunkId]) -> list[ChunkId]:
+        if self.multi_node_policy == "sequential" or len(chunks) < 2:
+            return chunks
+        if self.multi_node_policy == "priority":
+            # Stripes with more failed chunks are the most exposed: give
+            # their chunks higher repair priority.
+            per_stripe = Counter(c.stripe for c in chunks)
+            return sorted(
+                chunks, key=lambda c: (-per_stripe[c.stripe], c.stripe, c.index)
+            )
+        # "fastest": fewest required sources first (cheapest repair).
+        def cost(chunk: ChunkId) -> float:
+            """Repair traffic (chunk units) as the priority key."""
+            survivors = self.injector.surviving_sources(chunk)
+            try:
+                eq = self.store.code.repair_equation(chunk.index, set(survivors))
+            except Exception:
+                return float("inf")
+            return eq.traffic_chunks
+
+        return sorted(chunks, key=lambda c: (cost(c), c.stripe, c.index))
+
+    # -- phase machinery -----------------------------------------------------------
+
+    def _start_phase(self) -> None:
+        if self._finished:
+            return
+        self.phase_index += 1
+        self.dispatcher.begin_phase()
+        self._phase_admitted = 0
+        self._phase_budget_exhausted = False
+        self._admit_chunks()
+        phase_end = self.cluster.sim.now + self.t_phase
+        self.cluster.sim.schedule(self.check_interval, self._progress_check, phase_end)
+        self.cluster.sim.call_at(phase_end, self._end_phase)
+
+    def _admit_chunks(self) -> None:
+        """Continuously select failed chunks into the running phase.
+
+        Section III-A: chunks are admitted one at a time until the
+        accumulated (per-node) estimated repair time would exceed
+        T_phase. An in-flight cap bounds concurrent chunk repairs, the
+        same reconstruction-stream limit real systems apply; completed
+        chunks free slots for further admissions within the same phase.
+        """
+        remaining: list[ChunkId] = []
+        pending = list(self.pending)
+        self.pending = []
+        for i, chunk in enumerate(pending):
+            if (
+                self._phase_budget_exhausted
+                or len(self.in_flight) >= self.max_inflight
+            ):
+                remaining.extend(pending[i:])
+                break
+            if chunk.stripe in self._stripes_busy:
+                remaining.append(chunk)
+                continue
+            snap = self.dispatcher.load.snapshot()
+            try:
+                dispatch = self.dispatcher.dispatch_chunk(chunk, self.store.code)
+            except SchedulingError:
+                remaining.append(chunk)
+                continue
+            if dispatch.estimated_time > self.t_phase and self._phase_admitted > 0:
+                # Would overrun the phase: try again next phase. (The
+                # first chunk is always admitted, otherwise a chunk whose
+                # lone repair exceeds t_phase would starve forever.)
+                self.dispatcher.load.restore(snap)
+                remaining.append(chunk)
+                remaining.extend(pending[i + 1 :])
+                self._phase_budget_exhausted = True
+                break
+            self._launch(dispatch)
+            self._phase_admitted += 1
+        self.pending = remaining + self.pending
+
+    def _launch(self, dispatch) -> None:
+        plan = build_plan(dispatch, self.store.code, self.injector)
+        self.store.relocate(dispatch.chunk, plan.destination)
+        self._stripes_busy.add(dispatch.chunk.stripe)
+        instance = PlanInstance(
+            self.cluster,
+            plan,
+            chunk_size=self.chunk_size,
+            slice_size=self.slice_size,
+            final_write=self.final_write,
+            on_complete=lambda inst, c=dispatch.chunk: self._chunk_done(c, inst),
+        )
+        self.in_flight[dispatch.chunk] = instance
+        instance.start()
+        expectation = self.cluster.sim.now + max(
+            dispatch.estimated_time, self.check_interval
+        )
+        for transfer in instance.uploads.values():
+            self.tracker.track(transfer, expectation, chunk_key=instance)
+
+    def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        self.in_flight.pop(chunk, None)
+        self._stripes_busy.discard(chunk.stripe)
+        if instance in self._paused:
+            self._paused.remove(instance)
+        self.completed.append(chunk)
+        self.meter.record_repair(self.cluster.sim.now, self.chunk_size)
+        for callback in self.on_chunk_repaired:
+            callback(chunk, instance.plan)
+        if not self.pending and not self.in_flight:
+            self._finish()
+        elif self.pending:
+            # A slot freed up: keep filling the current phase.
+            self._admit_chunks()
+
+    def _end_phase(self) -> None:
+        if self._finished:
+            return
+        # Postponed tasks that never got their restart window resume now.
+        for instance in self._paused:
+            instance.resume()
+        self._paused.clear()
+        self.tracker.clear_finished()
+        self._start_phase()
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.meter.finish(self.cluster.sim.now)
+        if self.on_all_done is not None:
+            self.on_all_done(self)
+
+    # -- straggler-aware re-scheduling (Section III-C) -------------------------------
+
+    def _progress_check(self, phase_end: float) -> None:
+        if self._finished or self.cluster.sim.now >= phase_end - 1e-9:
+            return
+        now = self.cluster.sim.now
+        for task in self.tracker.delayed_tasks(now):
+            self._handle_straggler(task)
+        self._resume_ready()
+        next_check = min(now + self.check_interval, phase_end)
+        if next_check > now + 1e-9:
+            self.cluster.sim.call_at(next_check, self._progress_check, phase_end)
+
+    def _handle_straggler(self, task: TrackedTask) -> None:
+        instance: PlanInstance = task.chunk_key
+        transfer = task.transfer
+        if instance.done or transfer.done or transfer.cancelled:
+            return
+        # Strongest reaction first: if this chunk's repair has barely
+        # moved, re-tune the *plan* — re-dispatch against the bandwidth
+        # the monitor sees now, which substitutes the straggling node
+        # entirely (MDS codes have m - 1 spare candidates). This is the
+        # plan-level half of "re-tunes task transmissions and repair
+        # plans to bypass unexpected stragglers".
+        if self.enable_retuning and self._replan(instance, transfer):
+            return
+        downloader = instance.downloader_of(transfer)
+        retuned = False
+        if (
+            self.enable_retuning
+            and downloader is not None
+            and downloader != instance.plan.destination
+            and self._retune_is_useful(instance, transfer, downloader)
+        ):
+            # Repair re-tuning (Fig. 10(b)): redirect the delayed source
+            # download to the destination so the relay's dependent
+            # combine-upload stops waiting on it.
+            replacement = instance.retune(transfer)
+            self.retunes += 1
+            self.tracker.track(
+                replacement,
+                self.cluster.sim.now + self.check_interval * 2,
+                chunk_key=instance,
+            )
+            retuned = True
+        if self.enable_reordering and not retuned and instance not in self._paused:
+            # Transmission re-ordering (Fig. 10(a)): postpone the tasks
+            # stuck behind the straggler so their links serve other
+            # chunks; restart when the straggler finishes (or at phase
+            # end, whichever comes first).
+            paused = instance.pause_downstream(transfer)
+            if paused:
+                self._paused.append(instance)
+                self.reorders += 1
+                transfer.on_complete.append(
+                    lambda _t, inst=instance: self._wake(inst)
+                )
+
+    def _replan(self, instance: PlanInstance, transfer) -> bool:
+        """Re-dispatch a barely-started chunk around the straggler."""
+        chunk = instance.plan.chunk
+        if chunk in self._replanned:
+            return False
+        total = sum(t.size for t in instance.uploads.values())
+        moved = sum(t.bytes_completed for t in instance.uploads.values())
+        if total <= 0 or moved > 0.25 * total:
+            return False
+        self._replanned.add(chunk)
+        # Fresh estimates: close the monitor window now so the straggler's
+        # load is visible to the new dispatch.
+        self.monitor.sample()
+        instance.cancel()
+        self.in_flight.pop(chunk, None)
+        self._stripes_busy.discard(chunk.stripe)
+        if instance in self._paused:
+            self._paused.remove(instance)
+        try:
+            dispatch = self.dispatcher.dispatch_chunk(chunk, self.store.code)
+        except SchedulingError:
+            self.pending.append(chunk)
+            return True
+        self.replans += 1
+        self._launch(dispatch)
+        return True
+
+    def _retune_is_useful(
+        self, instance: PlanInstance, transfer, downloader: int
+    ) -> bool:
+        """True when redirecting actually unblocks dependent work.
+
+        Re-tuning pays off when (i) a meaningful amount of the delayed
+        download is still outstanding and (ii) the relay downloading it
+        still has its combine-upload to run (the dependent task that the
+        redirect releases).
+        """
+        if transfer.bytes_completed > 0.75 * transfer.size:
+            return False
+        relay_upload = instance.uploads.get(downloader)
+        return relay_upload is not None and not relay_upload.done
+
+    def _wake(self, instance: PlanInstance) -> None:
+        if instance in self._paused:
+            self._paused.remove(instance)
+            if not instance.done:
+                instance.resume()
+
+    def _resume_ready(self) -> None:
+        # Defensive sweep: any paused chunk whose tracked tasks all
+        # finished should not stay parked.
+        for instance in list(self._paused):
+            if all(t.done or t.cancelled for t in instance.uploads.values()):
+                self._wake(instance)

@@ -1,0 +1,21 @@
+"""ChameleonEC-IO: the storage-bottlenecked variant (Section III-D, Exp#12).
+
+When disks, not links, are the bottleneck, the coordinator monitors
+storage-bandwidth consumption and dispatches the read/write tasks based
+on idle *disk* bandwidth. Everything else (Algorithm 1 planning,
+straggler re-scheduling) is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.chameleon import ChameleonRepair
+
+
+class ChameleonRepairIO(ChameleonRepair):
+    """ChameleonEC with dispatch driven by idle storage bandwidth."""
+
+    name = "ChameleonEC-IO"
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["io_aware"] = True
+        super().__init__(*args, **kwargs)

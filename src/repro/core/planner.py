@@ -1,0 +1,87 @@
+"""Tunable repair-plan establishment — Algorithm 1 (Section III-B).
+
+Given the task distribution of one chunk (how many download tasks each
+participating source received, and how many the destination holds), the
+planner pairs upload tasks with download tasks to produce transmission
+paths. Sources with all downloads satisfied and an unpaired upload live
+in the eligible set ``E``; each pairing step connects a node popped from
+``E`` to the source with the fewest unpaired downloads; leftovers upload
+straight to the destination. The result is the parent map of a
+:class:`repro.repair.plan.RepairPlan`.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.failures import FailureInjector
+from repro.codes.base import ErasureCode
+from repro.errors import SchedulingError
+from repro.repair.plan import PlanSource, RepairPlan
+from repro.core.tasks import ChunkDispatch
+
+
+def build_parent_map(dispatch: ChunkDispatch) -> dict[int, int]:
+    """Pair uploads and downloads into transmission paths (Algorithm 1)."""
+    sources = list(dispatch.participants)
+    unpaired_down = {n: dispatch.source_downloads.get(n, 0) for n in sources}
+    parent: dict[int, int] = {}
+
+    # E: unpaired upload + no (remaining) downloads. Every source has
+    # exactly one upload task, so membership is "no parent assigned yet".
+    eligible = [n for n in sources if unpaired_down[n] == 0]
+
+    while sum(unpaired_down.values()) > 0:
+        # The source with the fewest unpaired downloads (Line 5).
+        receivers = [n for n in sources if unpaired_down[n] > 0]
+        target = min(receivers, key=lambda n: (unpaired_down[n], n))
+        if not eligible:
+            raise SchedulingError(
+                f"Algorithm 1 stalled pairing tasks for {dispatch.chunk}: "
+                "no eligible uploader (dispatch produced an invalid distribution)"
+            )
+        uploader = eligible.pop(0)
+        parent[uploader] = target
+        unpaired_down[target] -= 1
+        if unpaired_down[target] == 0:
+            eligible.append(target)
+
+    # Remaining uploads feed the destination (Lines 12-16).
+    for node in eligible:
+        parent[node] = dispatch.destination
+
+    dest_edges = sum(1 for v in parent.values() if v == dispatch.destination)
+    if dest_edges != dispatch.dest_downloads:
+        raise SchedulingError(
+            f"plan for {dispatch.chunk} gives the destination {dest_edges} "
+            f"downloads, dispatch assigned {dispatch.dest_downloads}"
+        )
+    return parent
+
+
+def build_plan(
+    dispatch: ChunkDispatch,
+    code: ErasureCode,
+    injector: FailureInjector,
+) -> RepairPlan:
+    """Full tunable plan: Algorithm 1 structure + decoding coefficients."""
+    available = set(dispatch.chunk_indices.values())
+    equation = code.repair_equation(dispatch.chunk.index, available)
+    coeff_by_index = dict(equation.coefficients)
+    sources = []
+    for node, idx in sorted(dispatch.chunk_indices.items()):
+        sources.append(
+            PlanSource(
+                node_id=node,
+                chunk_index=idx,
+                coefficient=coeff_by_index.get(idx, 0),
+            )
+        )
+    parent = build_parent_map(dispatch)
+    if not code.supports_partial_combine:
+        parent = {node: dispatch.destination for node in dispatch.chunk_indices}
+    return RepairPlan(
+        chunk=dispatch.chunk,
+        destination=dispatch.destination,
+        sources=sources,
+        read_fraction=equation.read_fraction,
+        parent=parent,
+    )

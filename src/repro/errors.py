@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CodingError(ReproError):
+    """Erasure-coding failure (bad parameters, undecodable erasure set)."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulator state (negative time, orphan flow, ...)."""
+
+
+class PlanError(ReproError):
+    """A repair plan is malformed or cannot be executed."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not dispatch tasks or build a plan."""

@@ -1,0 +1,193 @@
+"""Command-line runner: ``python -m repro.experiments <exp> [--scale S]``.
+
+Regenerates one paper figure/table and prints its rows, e.g.::
+
+    python -m repro.experiments exp01 --scale 0.1
+    python -m repro.experiments fig2
+    python -m repro.experiments exp09 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.harness import format_table
+
+
+def _exp01(scale, seed):
+    from repro.experiments.exp01_interference import (
+        ALGORITHMS,
+        rows_p99,
+        rows_throughput,
+        run_exp01,
+    )
+
+    results = run_exp01(scale=scale, seed=seed)
+    headers = ["trace", *ALGORITHMS]
+    return [
+        ("Exp#1 / Fig 12(a): repair throughput (MB/s)", headers, rows_throughput(results)),
+        ("Exp#1 / Fig 12(b): P99 latency (ms)", headers, rows_p99(results)),
+    ]
+
+
+def _exp02(scale, seed):
+    from repro.experiments.exp02_trace_slowdown import ALGORITHMS, rows, run_exp02
+
+    results = run_exp02(scale=scale, seed=seed)
+    return [("Exp#2 / Fig 13: interference degree", ["trace", *ALGORITHMS], rows(results))]
+
+
+def _exp03(scale, seed):
+    from repro.experiments.exp03_tphase import rows, run_exp03
+
+    results = run_exp03(scale=scale, seed=seed)
+    return [("Exp#3 / Fig 14: ChameleonEC vs T_phase",
+             ["T_phase", "throughput MB/s", "P99 ms"], rows(results))]
+
+
+def _exp04(scale, seed):
+    from repro.experiments.exp04_adaptivity import rows, run_exp04, series_rows
+
+    results = run_exp04(scale=scale, seed=seed)
+    return [
+        ("Exp#4 / Fig 15: average throughput under trace transitions",
+         ["algorithm", "throughput MB/s", "repair time s"], rows(results)),
+        ("Exp#4 / Fig 15: throughput series (MB/s)",
+         ["algorithm"] + [f"w{i}" for i in range(8)], series_rows(results)),
+    ]
+
+
+def _exp05(scale, seed):
+    from repro.experiments.exp05_computation import CHUNK_COUNTS, rows, run_exp05
+
+    results = run_exp05(seed=seed)
+    return [("Exp#5 / Fig 16: plan-generation time (s)",
+             ["nodes", *(f"{c} chunks" for c in CHUNK_COUNTS)], rows(results))]
+
+
+def _exp06(scale, seed):
+    from repro.experiments.exp06_repairboost import rows, run_exp06
+
+    results = run_exp06(scale=scale, seed=seed)
+    return [("Exp#6 / Fig 17: RepairBoost vs ChameleonEC",
+             ["algorithm", "throughput MB/s", "P99 ms"], rows(results))]
+
+
+def _exp07(scale, seed):
+    from repro.experiments.exp07_no_foreground import ALGORITHMS, rows, run_exp07
+
+    results = run_exp07(scale=scale, seed=seed)
+    return [("Exp#7 / Fig 18: no-foreground throughput (MB/s)",
+             ["link bw", *ALGORITHMS], rows(results))]
+
+
+def _exp08(scale, seed):
+    from repro.experiments.exp08_multinode import ALGORITHMS, rows, run_exp08
+
+    results = run_exp08(scale=scale, seed=seed)
+    return [("Exp#8 / Fig 19: multi-node repair (MB/s)",
+             ["failures", *ALGORITHMS], rows(results))]
+
+
+def _exp09(scale, seed):
+    from repro.experiments.exp09_generality import ALGORITHMS, rows, run_exp09
+
+    results = run_exp09(scale=scale, seed=seed)
+    return [("Exp#9 / Fig 20: throughput by erasure code (MB/s)",
+             ["code", *ALGORITHMS], rows(results))]
+
+
+def _exp10(scale, seed):
+    from repro.experiments.exp10_degraded_read import ALGORITHMS, rows, run_exp10
+
+    results = run_exp10(scale=scale, seed=seed)
+    return [("Exp#10 / Fig 21: degraded-read throughput (MB/s)",
+             ["code", *ALGORITHMS], rows(results))]
+
+
+def _exp11(scale, seed):
+    from repro.experiments.exp11_breakdown import ALGORITHMS, rows, run_exp11
+
+    results = run_exp11(scale=scale, seed=seed)
+    return [("Exp#11 / Fig 22: phase throughput with straggler (MB/s)",
+             ["straggler start", *ALGORITHMS], rows(results))]
+
+
+def _exp12(scale, seed):
+    from repro.experiments.exp12_storage_bottleneck import ALGORITHMS, rows, run_exp12
+
+    results = run_exp12(scale=scale, seed=seed)
+    return [("Exp#12 / Fig 23: storage-bottlenecked throughput (MB/s)",
+             ["disk bw", *ALGORITHMS], rows(results))]
+
+
+def _exp13(scale, seed):
+    from repro.experiments.exp13_network_bw import ALGORITHMS, rows, run_exp13
+
+    results = run_exp13(scale=scale, seed=seed)
+    return [("Exp#13 / Fig 24: throughput vs link bandwidth (MB/s)",
+             ["link bw", *ALGORITHMS], rows(results))]
+
+
+def _fig2(scale, seed):
+    from repro.experiments.figures import fig2_rows, run_fig2
+
+    return [("Fig 2: Pr_dl vs repair throughput",
+             ["repair throughput", "Pr_dl"], fig2_rows(run_fig2()))]
+
+
+def _fig4(scale, seed):
+    from repro.experiments.motivation import rows_p99, rows_repair_time, run_motivation
+
+    results = run_motivation(scale=scale, seed=seed)
+    return [
+        ("Fig 4(a): repair time (s)", ["clients", "CR", "PPR", "ECPipe"],
+         rows_repair_time(results)),
+        ("Fig 4(b): P99 (ms)", ["clients", "CR", "PPR", "ECPipe"], rows_p99(results)),
+    ]
+
+
+def _fig5(scale, seed):
+    from repro.experiments.figures import fig5_rows, run_fig5
+
+    return [("Fig 5: foreground bandwidth fluctuation (Gb/s)",
+             ["direction", "mean", "min", "max"], fig5_rows(run_fig5(scale, seed)))]
+
+
+def _fig6(scale, seed):
+    from repro.experiments.figures import fig6_rows, run_fig6
+
+    return [("Fig 6: most/least-loaded link bandwidth (Gb/s)",
+             ["link", "repair", "foreground", "total"],
+             fig6_rows(run_fig6(scale, seed)))]
+
+
+EXPERIMENTS = {
+    "fig2": _fig2, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
+    "exp01": _exp01, "exp02": _exp02, "exp03": _exp03, "exp04": _exp04,
+    "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
+    "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
+    "exp13": _exp13,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the experiment, print its tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one ChameleonEC paper figure/table.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="which experiment")
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="workload scale in (0, 1]; 1.0 = paper size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    for title, headers, rows in EXPERIMENTS[args.experiment](args.scale, args.seed):
+        print(format_table(title, headers, rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

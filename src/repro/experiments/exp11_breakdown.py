@@ -1,0 +1,154 @@
+"""Exp#11 (Fig. 22): breakdown study with an injected straggler.
+
+Decomposes ChameleonEC into ETRP (tunable plans only) and ETRP+SAR (the
+full system with straggler-aware re-scheduling). A straggler is mimicked
+the paper's way: eight reader threads continuously pulling 1 MB objects
+from one node participating in the repair, started 0 / 5 / 10 seconds
+into a phase. The metric is repair throughput over that phase.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import MB
+from repro.cluster.topology import Cluster
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_sim_until
+from repro.experiments.scenario import Scenario
+
+ALGORITHMS = ("CR", "PPR", "ECPipe", "ETRP", "ChameleonEC")
+PAPER_OFFSETS = (0.0, 5.0, 10.0)
+
+
+class StragglerLoad:
+    """Closed-loop readers hammering one node's uplink (the Redis hog)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        *,
+        threads: int = 24,
+        object_mb: float = 1.0,
+        mode: str = "read",
+    ) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.threads = threads
+        self.object_size = object_mb * MB
+        # "read" hogs the node's uplink, "write" its downlink, "mixed"
+        # alternates — the downlink pressure is what repair re-tuning
+        # (Fig. 10(b)) can bypass.
+        self.mode = mode
+        self.active = False
+        self._seq = 0
+
+    def start(self) -> None:
+        """Launch the reader threads against the target node."""
+        self.active = True
+        # Spread hog endpoints over every client machine so the target
+        # node's link — not a single client's — is the bottleneck.
+        self._sinks = [c.id for c in self.cluster.clients]
+        for _ in range(self.threads):
+            self._issue()
+
+    def stop(self) -> None:
+        """Stop issuing further hog reads (in-flight ones finish)."""
+        self.active = False
+
+    def _issue(self) -> None:
+        if not self.active:
+            return
+        self._seq += 1
+        if not self._sinks:  # pragma: no cover - clusters always have clients
+            return
+        sink = self._sinks[self._seq % len(self._sinks)]
+        write = self.mode == "write" or (self.mode == "mixed" and self._seq % 2 == 0)
+        if write:
+            transfer = self.cluster.make_transfer(
+                sink,
+                self.node_id,
+                self.object_size,
+                self.object_size,
+                tag="straggler",
+                read_disk=False,
+                write_disk=True,
+                name=f"hog-w{self._seq}",
+            )
+        else:
+            transfer = self.cluster.make_transfer(
+                self.node_id,
+                sink,
+                self.object_size,
+                self.object_size,
+                tag="straggler",
+                read_disk=True,
+                name=f"hog-r{self._seq}",
+            )
+        transfer.on_complete.append(lambda _t: self._issue())
+        self.cluster.start(transfer)
+
+
+def phase_throughput_with_straggler(
+    config: ExperimentConfig,
+    algorithm: str,
+    offset: float,
+    *,
+    straggler_node: int = 1,
+) -> float:
+    """Repair throughput (MB/s) of the phase containing the straggler."""
+    scenario = Scenario(config)
+    scenario.start_foreground()
+    scenario.cluster.sim.run(until=scenario.cluster.sim.now + 6.0)
+    report = scenario.fail_nodes(1)
+    repairer = scenario.make_repairer(algorithm)
+    phase_start = scenario.cluster.sim.now
+    repairer.repair(report.failed_chunks)
+    hog = StragglerLoad(scenario.cluster, straggler_node)
+    scenario.cluster.sim.call_at(phase_start + offset, hog.start)
+    phase_end = phase_start + config.t_phase
+    run_sim_until(
+        scenario.cluster,
+        lambda: repairer.done or scenario.cluster.sim.now >= phase_end,
+        step=0.5,
+    )
+    hog.stop()
+    scenario.stop_foreground()
+    repaired = sum(
+        nbytes
+        for ts, nbytes in repairer.meter.events
+        if phase_start <= ts <= phase_end
+    )
+    # Drain remaining repair so the run ends cleanly.
+    run_sim_until(scenario.cluster, lambda: repairer.done, step=2.0)
+    return repaired / config.t_phase / 1e6
+
+
+def run_exp11(
+    scale: float = 0.12,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    offsets: tuple[float, ...] = PAPER_OFFSETS,
+) -> dict[tuple[float, str], float]:
+    """{(paper offset, algorithm): phase repair throughput MB/s}."""
+    config = ExperimentConfig.scaled(scale, seed=seed)
+    factor = config.t_phase / 20.0  # paper offsets assume a 20 s phase
+    results: dict[tuple[float, str], float] = {}
+    for offset in offsets:
+        for algorithm in algorithms:
+            results[(offset, algorithm)] = phase_throughput_with_straggler(
+                config, algorithm, offset * factor
+            )
+    return results
+
+
+def rows(results: dict) -> list[list]:
+    """Table rows: phase throughput per straggler offset and algorithm."""
+    offsets = sorted({o for o, _ in results})
+    algorithms = [a for a in ALGORITHMS if any((o, a) in results for o in offsets)]
+    out = []
+    for offset in offsets:
+        out.append(
+            [f"straggler@{offset:g}s"]
+            + [results.get((offset, a), float("nan")) for a in algorithms]
+        )
+    return out

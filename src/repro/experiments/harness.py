@@ -1,0 +1,192 @@
+"""Shared experiment driver: runs a repair against foreground traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import Scenario
+
+#: Hard stop for any simulated run (seconds of virtual time).
+MAX_SIM_TIME = 200_000.0
+
+
+def run_sim_until(cluster, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
+    """Advance the simulator in steps until ``predicate()`` or ``limit``."""
+    while not predicate() and cluster.sim.now < limit:
+        cluster.sim.run(until=cluster.sim.now + step)
+    if not predicate():
+        raise ReproError(f"simulation did not converge within {limit} s")
+    return cluster.sim.now
+
+
+@dataclass
+class RepairResult:
+    """Metrics from one repair run."""
+
+    algorithm: str
+    trace: str
+    repair_time: float
+    repaired_bytes: float
+    chunks: int
+    p99_latency: float = 0.0
+    mean_latency: float = 0.0
+    foreground_requests: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Average repair throughput in bytes/second."""
+        return self.repaired_bytes / self.repair_time if self.repair_time > 0 else 0.0
+
+    @property
+    def throughput_mbs(self) -> float:
+        """Average repair throughput in MB/s."""
+        return self.throughput / 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (extras are deliberately dropped)."""
+        return {
+            "algorithm": self.algorithm,
+            "trace": self.trace,
+            "repair_time_s": self.repair_time,
+            "repaired_bytes": self.repaired_bytes,
+            "chunks": self.chunks,
+            "throughput_mbs": self.throughput_mbs,
+            "p99_latency_s": self.p99_latency,
+            "mean_latency_s": self.mean_latency,
+            "foreground_requests": self.foreground_requests,
+        }
+
+
+def run_repair_experiment(
+    config: ExperimentConfig,
+    algorithm: str,
+    *,
+    failed_nodes: int = 1,
+    foreground: bool = True,
+    trace: str | None = None,
+    transition_segments: list[tuple[float, str]] | None = None,
+    warmup: float = 6.0,
+    scenario: Scenario | None = None,
+    repairer_overrides: dict | None = None,
+) -> RepairResult:
+    """One full measurement: foreground + failure + repair to completion.
+
+    Foreground latency is always measured over a *fixed* horizon (at
+    least three phases), not just the repair window: a fast repair
+    concentrates its interference into a short burst, and cutting the
+    trace off right at repair completion would charge the fast algorithm
+    a window consisting purely of its worst moments.
+    """
+    scenario = scenario if scenario is not None else Scenario(config)
+    if foreground:
+        scenario.start_foreground(trace, transition_segments=transition_segments)
+        # Let the monitor observe at least one window of pure foreground.
+        scenario.cluster.sim.run(until=scenario.cluster.sim.now + warmup)
+    report = scenario.fail_nodes(failed_nodes)
+    repairer = scenario.make_repairer(algorithm, **(repairer_overrides or {}))
+    start = scenario.cluster.sim.now
+    repairer.repair(report.failed_chunks)
+    run_sim_until(scenario.cluster, lambda: repairer.done)
+    if foreground:
+        horizon = start + 3.0 * config.t_phase
+        if scenario.cluster.sim.now < horizon:
+            scenario.cluster.sim.run(until=horizon)
+        scenario.stop_foreground()
+    # The meter records exact start/finish timestamps; the stepped run
+    # loop overshoots, so never derive the repair time from sim.now.
+    elapsed = repairer.meter.elapsed
+    result = RepairResult(
+        algorithm=algorithm,
+        trace=(trace or config.trace) if foreground else "none",
+        repair_time=elapsed if elapsed > 0 else scenario.cluster.sim.now - start,
+        repaired_bytes=repairer.meter.repaired_bytes,
+        chunks=len(report.failed_chunks),
+        p99_latency=scenario.latency.p99 if scenario.latency else 0.0,
+        mean_latency=scenario.latency.mean if scenario.latency else 0.0,
+        foreground_requests=scenario.latency.count if scenario.latency else 0,
+        extras={"meter": repairer.meter, "scenario": scenario, "repairer": repairer},
+    )
+    return result
+
+
+def run_trace_only(
+    config: ExperimentConfig,
+    *,
+    requests_per_client: int,
+    trace: str | None = None,
+) -> float:
+    """Trace execution time with no repair running (Exp#2's ``T``)."""
+    cfg = config.with_(requests_per_client=requests_per_client)
+    scenario = Scenario(cfg)
+    scenario.start_foreground(trace)
+    run_sim_until(scenario.cluster, scenario.foreground_done)
+    return max(c.execution_time for c in scenario.clients)
+
+
+def run_trace_with_repair(
+    config: ExperimentConfig,
+    algorithm: str,
+    *,
+    requests_per_client: int,
+    trace: str | None = None,
+) -> tuple[float, RepairResult]:
+    """Trace execution time while a repair runs (Exp#2's ``T*``)."""
+    cfg = config.with_(requests_per_client=requests_per_client)
+    scenario = Scenario(cfg)
+    scenario.start_foreground(trace)
+    scenario.cluster.sim.run(until=scenario.cluster.sim.now + 2.0)
+    report = scenario.fail_nodes(1)
+    repairer = scenario.make_repairer(algorithm)
+    start = scenario.cluster.sim.now
+    repairer.repair(report.failed_chunks)
+    run_sim_until(
+        scenario.cluster, lambda: repairer.done and scenario.foreground_done()
+    )
+    end = scenario.cluster.sim.now
+    result = RepairResult(
+        algorithm=algorithm,
+        trace=trace or cfg.trace,
+        repair_time=end - start,
+        repaired_bytes=repairer.meter.repaired_bytes,
+        chunks=len(report.failed_chunks),
+        p99_latency=scenario.latency.p99,
+        mean_latency=scenario.latency.mean,
+        foreground_requests=scenario.latency.count,
+    )
+    trace_time = max(c.execution_time for c in scenario.clients)
+    return trace_time, result
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Fixed-width ASCII table used by every benchmark's output.
+
+    Short rows are padded with "-" so ragged data (e.g. time series of
+    different lengths) still renders.
+    """
+    str_rows = [
+        [_fmt(v) for v in row] + ["-"] * max(0, len(headers) - len(row))
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

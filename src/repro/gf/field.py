@@ -1,0 +1,87 @@
+"""Scalar and vectorised arithmetic over GF(2^8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError
+from repro.gf.tables import EXP_TABLE, FIELD_SIZE, INV_TABLE, LOG_TABLE, MUL_TABLE
+
+
+def gf_add(a: int, b: int) -> int:
+    """Add two field elements (XOR in characteristic 2)."""
+    return a ^ b
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Subtract two field elements (identical to addition)."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    return int(MUL_TABLE[a, b])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``; raises on division by zero."""
+    if b == 0:
+        raise CodingError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[LOG_TABLE[a] - LOG_TABLE[b] + (FIELD_SIZE - 1)])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises for a == 0."""
+    if a == 0:
+        raise CodingError("0 has no inverse in GF(2^8)")
+    return int(INV_TABLE[a])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the integer power ``n`` (n may be negative)."""
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise CodingError("0 has no inverse in GF(2^8)")
+        return 0
+    exponent = (LOG_TABLE[a] * n) % (FIELD_SIZE - 1)
+    return int(EXP_TABLE[exponent])
+
+
+def vec_scale(data: np.ndarray, coeff: int) -> np.ndarray:
+    """Multiply every byte of ``data`` by the scalar ``coeff``.
+
+    ``data`` must be a uint8 array; a new array is returned.
+    """
+    if coeff == 0:
+        return np.zeros_like(data)
+    if coeff == 1:
+        return data.copy()
+    return MUL_TABLE[coeff][data]
+
+
+def vec_addmul(acc: np.ndarray, data: np.ndarray, coeff: int) -> None:
+    """In-place ``acc ^= coeff * data`` over GF(2^8)."""
+    if coeff == 0:
+        return
+    if coeff == 1:
+        np.bitwise_xor(acc, data, out=acc)
+    else:
+        np.bitwise_xor(acc, MUL_TABLE[coeff][data], out=acc)
+
+
+def vec_xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Byte-wise XOR of two equal-length uint8 arrays."""
+    return np.bitwise_xor(a, b)
+
+
+def as_field_array(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Coerce bytes-like input into a uint8 numpy array (no copy if possible)."""
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8:
+            raise CodingError(f"expected uint8 array, got {data.dtype}")
+        return data
+    return np.frombuffer(bytes(data), dtype=np.uint8)

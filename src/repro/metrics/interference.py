@@ -1,0 +1,25 @@
+"""Interference-degree metric (Exp#2)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def interference_degree(time_with_repair: float, time_without_repair: float) -> float:
+    """Relative slowdown of a trace caused by concurrent repair.
+
+    Defined in Exp#2 as ``T*/T - 1`` where ``T`` is the trace execution
+    time without repair and ``T*`` the time under repair.
+    """
+    if time_without_repair <= 0:
+        raise SimulationError("baseline trace time must be positive")
+    if time_with_repair < 0:
+        raise SimulationError("trace time cannot be negative")
+    return time_with_repair / time_without_repair - 1.0
+
+
+def improvement_ratio(new: float, old: float) -> float:
+    """Relative improvement ``new/old - 1`` (positive = better)."""
+    if old <= 0:
+        raise SimulationError("baseline must be positive")
+    return new / old - 1.0

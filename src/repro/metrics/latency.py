@@ -1,0 +1,62 @@
+"""Request latency recording and percentile reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class LatencyRecorder:
+    """Collects request latencies and reports P50/P99/mean.
+
+    The paper's service-quality metric is the P99 (tail) latency of
+    foreground requests (Section II-D, Exp#1).
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one request latency sample (seconds)."""
+        if latency < 0:
+            raise SimulationError("latency cannot be negative")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]); 0.0 when empty."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def p50(self) -> float:
+        """Median latency in seconds."""
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        """Tail (99th percentile) latency in seconds."""
+        return self.percentile(99)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        """Worst observed latency in seconds."""
+        return float(np.max(self.samples)) if self.samples else 0.0
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """A new recorder holding both sample sets (cross-client P99)."""
+        merged = LatencyRecorder(self.name)
+        merged.samples = self.samples + other.samples
+        return merged

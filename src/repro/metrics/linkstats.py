@@ -1,0 +1,94 @@
+"""Windowed per-link bandwidth statistics (Figures 5 and 6).
+
+Fig. 5 plots the fluctuation (max minus min across windows) of the
+bandwidth the foreground traffic occupies per link; Fig. 6 contrasts the
+most-loaded and least-loaded up/downlinks, split into repair bandwidth
+and foreground bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.resources import Resource
+
+REPAIR_TAG = "repair"
+
+
+@dataclass
+class LinkWindowSeries:
+    """Per-window average bandwidth of one resource, split by class."""
+
+    resource_name: str
+    capacity: float
+    repair: list[float] = field(default_factory=list)
+    foreground: list[float] = field(default_factory=list)
+
+    def fluctuation(self) -> float:
+        """Max minus min of the per-window foreground bandwidth."""
+        if not self.foreground:
+            return 0.0
+        return max(self.foreground) - min(self.foreground)
+
+    def mean_repair(self) -> float:
+        """Average repair bandwidth across windows (B/s)."""
+        return sum(self.repair) / len(self.repair) if self.repair else 0.0
+
+    def mean_foreground(self) -> float:
+        """Average foreground bandwidth across windows (B/s)."""
+        return sum(self.foreground) / len(self.foreground) if self.foreground else 0.0
+
+    def mean_total(self) -> float:
+        """Average total (repair + foreground) bandwidth (B/s)."""
+        return self.mean_repair() + self.mean_foreground()
+
+
+class LinkStatsCollector:
+    """Samples cumulative resource counters into fixed windows.
+
+    Call :meth:`sample` every ``window`` seconds of simulated time (the
+    paper uses 15 s windows, Section II-D).
+    """
+
+    def __init__(self, resources: list[Resource], window: float = 15.0) -> None:
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        self.window = window
+        self.series: dict[str, LinkWindowSeries] = {
+            res.name: LinkWindowSeries(res.name, res.capacity) for res in resources
+        }
+        self._resources = list(resources)
+        self._last_counts: dict[str, tuple[float, float]] = {
+            res.name: self._split_counts(res) for res in resources
+        }
+
+    @staticmethod
+    def _split_counts(res: Resource) -> tuple[float, float]:
+        repair = res.bytes_for(REPAIR_TAG)
+        foreground = res.total_bytes - repair
+        return repair, foreground
+
+    def sample(self) -> None:
+        """Close the current window for every tracked resource."""
+        for res in self._resources:
+            repair, foreground = self._split_counts(res)
+            last_repair, last_fg = self._last_counts[res.name]
+            series = self.series[res.name]
+            series.repair.append((repair - last_repair) / self.window)
+            series.foreground.append((foreground - last_fg) / self.window)
+            self._last_counts[res.name] = (repair, foreground)
+
+    def fluctuation_stats(self) -> tuple[float, float, float]:
+        """(mean, min, max) of per-link foreground fluctuation (Fig. 5)."""
+        values = [s.fluctuation() for s in self.series.values()]
+        if not values:
+            return 0.0, 0.0, 0.0
+        return sum(values) / len(values), min(values), max(values)
+
+    def most_and_least_loaded(self) -> tuple[LinkWindowSeries, LinkWindowSeries]:
+        """The (most-loaded, least-loaded) links by total mean bw (Fig. 6)."""
+        ordered = sorted(self.series.values(), key=lambda s: s.mean_total())
+        if not ordered:
+            raise SimulationError("no links tracked")
+        return ordered[-1], ordered[0]

@@ -1,0 +1,6 @@
+"""Bandwidth and repair-progress monitoring."""
+
+from repro.monitor.bandwidth import BandwidthMonitor
+from repro.monitor.progress import ProgressTracker, TrackedTask
+
+__all__ = ["BandwidthMonitor", "ProgressTracker", "TrackedTask"]

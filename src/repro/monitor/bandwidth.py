@@ -1,0 +1,102 @@
+"""Periodic link/disk bandwidth monitoring (the coordinator's eyes).
+
+The paper's coordinator learns each node's idle bandwidth "by either
+periodically monitoring or pre-limiting by the system" (Section III-A).
+This monitor plays the NetHogs role: every ``window`` seconds it samples
+the byte counters of every node resource and derives the average
+foreground bandwidth of the last window; idle bandwidth is capacity
+minus that.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
+from repro.metrics.linkstats import REPAIR_TAG
+from repro.sim.resources import Resource
+
+#: Fraction of capacity always assumed available: even a saturated link
+#: drains eventually, and estimates must never divide by zero.
+_IDLE_FLOOR = 0.02
+
+
+class BandwidthMonitor:
+    """Windowed foreground-bandwidth estimates for every node resource."""
+
+    def __init__(self, cluster: Cluster, window: float = 5.0) -> None:
+        if window <= 0:
+            raise SimulationError("monitor window must be positive")
+        self.cluster = cluster
+        self.window = window
+        self._foreground_bw: dict[str, float] = {}
+        self._last_counts: dict[str, float] = {}
+        self._last_sample_time = cluster.sim.now
+        self._started = False
+        self._resources: list[Resource] = []
+        for node in cluster.storage_nodes + cluster.clients:
+            self._resources.extend(node.all_resources())
+        for res in self._resources:
+            self._last_counts[res.name] = self._foreground_bytes(res)
+            self._foreground_bw[res.name] = 0.0
+
+    @staticmethod
+    def _foreground_bytes(res: Resource) -> float:
+        """Bytes moved by anything that is not repair traffic."""
+        return res.total_bytes - res.bytes_for(REPAIR_TAG)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.sim.schedule(self.window, self._tick)
+
+    def _tick(self) -> None:
+        self.sample()
+        self.cluster.sim.schedule(self.window, self._tick)
+
+    def sample(self) -> None:
+        """Close the current window and refresh all estimates.
+
+        May also be called on demand (e.g. before re-planning around a
+        straggler); the divisor is the actual elapsed time, so irregular
+        sampling never skews the estimates.
+        """
+        elapsed = self.cluster.sim.now - self._last_sample_time
+        if elapsed <= 0:
+            return
+        self._last_sample_time = self.cluster.sim.now
+        self.cluster.flows.settle_now()
+        for res in self._resources:
+            current = self._foreground_bytes(res)
+            delta = current - self._last_counts[res.name]
+            self._last_counts[res.name] = current
+            self._foreground_bw[res.name] = delta / elapsed
+
+    def foreground_bw(self, res: Resource) -> float:
+        """Average foreground bandwidth of the last window (bytes/s)."""
+        return self._foreground_bw.get(res.name, 0.0)
+
+    def idle_bw(self, res: Resource) -> float:
+        """Estimated unoccupied bandwidth of ``res`` (never below a floor)."""
+        idle = res.capacity - self.foreground_bw(res)
+        return max(idle, _IDLE_FLOOR * res.capacity)
+
+    # Node-level convenience accessors used by the dispatcher.
+
+    def idle_uplink(self, node: Node) -> float:
+        """Estimated unoccupied uplink bandwidth of ``node`` (B/s)."""
+        return self.idle_bw(node.uplink)
+
+    def idle_downlink(self, node: Node) -> float:
+        """Estimated unoccupied downlink bandwidth of ``node`` (B/s)."""
+        return self.idle_bw(node.downlink)
+
+    def idle_disk_read(self, node: Node) -> float:
+        """Estimated unoccupied disk-read bandwidth of ``node`` (B/s)."""
+        return self.idle_bw(node.disk_read)
+
+    def idle_disk_write(self, node: Node) -> float:
+        """Estimated unoccupied disk-write bandwidth of ``node`` (B/s)."""
+        return self.idle_bw(node.disk_write)

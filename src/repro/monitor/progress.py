@@ -1,0 +1,62 @@
+"""Repair-progress tracking and straggler detection (Section III-C).
+
+Every repair task carries an *expectation* — the time by which it should
+finish given the idle bandwidth at dispatch. The tracker flags tasks
+whose completion has slipped past the expectation by more than a
+threshold; ChameleonEC reacts with transmission re-ordering and repair
+re-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.transfers import Transfer
+
+
+@dataclass
+class TrackedTask:
+    """One repair task (a transfer) plus its expected completion time."""
+
+    transfer: Transfer
+    expected_finish: float
+    chunk_key: object = None  # which failed chunk this task serves
+
+    def is_delayed(self, now: float, threshold: float) -> bool:
+        """True when the task overran its expectation by > threshold."""
+        if self.transfer.done or self.transfer.cancelled:
+            return False
+        return now > self.expected_finish + threshold
+
+
+@dataclass
+class ProgressTracker:
+    """Collects tracked tasks and reports stragglers."""
+
+    threshold: float = 2.0
+    tasks: list[TrackedTask] = field(default_factory=list)
+
+    def track(self, transfer: Transfer, expected_finish: float, chunk_key=None) -> TrackedTask:
+        """Register a task with its expected completion time."""
+        if expected_finish < 0:
+            raise SimulationError("expectation cannot be negative")
+        task = TrackedTask(transfer, expected_finish, chunk_key)
+        self.tasks.append(task)
+        return task
+
+    def delayed_tasks(self, now: float) -> list[TrackedTask]:
+        """All live tasks whose finish time exceeded expectation + threshold."""
+        return [t for t in self.tasks if t.is_delayed(now, self.threshold)]
+
+    def pending_tasks(self) -> list[TrackedTask]:
+        """Tracked tasks that are neither done nor cancelled."""
+        return [
+            t
+            for t in self.tasks
+            if not t.transfer.done and not t.transfer.cancelled
+        ]
+
+    def clear_finished(self) -> None:
+        """Forget tasks that completed (phase-boundary housekeeping)."""
+        self.tasks = [t for t in self.tasks if not t.transfer.done]

@@ -1,0 +1,133 @@
+"""Degraded reads: repair a temporarily unavailable chunk on the fly.
+
+A degraded read (Section II-B) requests a chunk that sits on a failed or
+unreachable node. Instead of repairing it back onto a storage node, the
+surviving chunks are combined and delivered straight to the requesting
+client; the metric is the latency from issuing the read until the chunk
+is reconstructed at the client (Exp#10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.stripes import ChunkId, StripeStore
+from repro.cluster.topology import Cluster
+from repro.errors import SchedulingError
+from repro.monitor.bandwidth import BandwidthMonitor
+from repro.repair.base import RepairAlgorithm, star_parents
+from repro.repair.instance import PlanInstance
+from repro.repair.plan import PlanSource, RepairPlan
+
+
+@dataclass
+class DegradedRead:
+    """Outcome of one on-the-fly reconstruction at a client."""
+
+    chunk: ChunkId
+    client: int
+    issued_at: float
+    completed_at: float | None = None
+
+    @property
+    def latency(self) -> float:
+        """Seconds from the read request to reconstruction."""
+        if self.completed_at is None:
+            raise SchedulingError("degraded read has not completed")
+        return self.completed_at - self.issued_at
+
+    def throughput(self, chunk_size: float) -> float:
+        """Effective read bandwidth in bytes/second."""
+        return chunk_size / self.latency
+
+
+def degraded_read_plan(
+    algorithm: RepairAlgorithm,
+    chunk: ChunkId,
+    store: StripeStore,
+    injector: FailureInjector,
+    client_node: int,
+) -> RepairPlan:
+    """A repair plan whose destination is the requesting client."""
+    survivors = injector.surviving_sources(chunk)
+    if not survivors:
+        raise SchedulingError(f"no survivors to serve degraded read of {chunk}")
+    from repro.repair.base import select_equation
+
+    equation = select_equation(store.code, chunk.index, set(survivors), algorithm.rng)
+    sources = [
+        PlanSource(node_id=survivors[idx], chunk_index=idx, coefficient=coeff)
+        for idx, coeff in sorted(equation.coefficients.items())
+    ]
+    order = [s.node_id for s in sources]
+    algorithm.rng.shuffle(order)
+    structure = algorithm.structure(order, client_node)
+    if not store.code.supports_partial_combine:
+        structure = star_parents(order, client_node)
+    return RepairPlan(
+        chunk=chunk,
+        destination=client_node,
+        sources=sources,
+        parent=structure,
+        read_fraction=equation.read_fraction,
+    )
+
+
+def chameleon_degraded_read_plan(
+    dispatcher,
+    chunk: ChunkId,
+    store: StripeStore,
+    injector: FailureInjector,
+    client_node: int,
+) -> RepairPlan:
+    """ChameleonEC's variant: dispatch tasks with the client pinned as
+    destination, then run Algorithm 1 over the distribution."""
+    from repro.core.planner import build_plan
+
+    dispatch = dispatcher.dispatch_chunk(chunk, store.code, destination=client_node)
+    return build_plan(dispatch, store.code, injector)
+
+
+def run_degraded_read(
+    cluster: Cluster,
+    store: StripeStore,
+    injector: FailureInjector,
+    chunk: ChunkId,
+    client_node: int,
+    *,
+    algorithm: RepairAlgorithm | None = None,
+    monitor: BandwidthMonitor | None = None,
+    slice_size: float,
+) -> tuple[DegradedRead, PlanInstance]:
+    """Launch a degraded read; returns immediately (run the simulator).
+
+    With ``algorithm`` given, the plan uses that baseline's structure;
+    otherwise a ChameleonEC dispatcher (requires ``monitor``) builds a
+    tunable plan with the client as destination.
+    """
+    if algorithm is not None:
+        plan = degraded_read_plan(algorithm, chunk, store, injector, client_node)
+    else:
+        if monitor is None:
+            raise SchedulingError("ChameleonEC degraded reads need a monitor")
+        from repro.core.dispatch import TaskDispatcher
+
+        dispatcher = TaskDispatcher(injector, monitor, chunk_size=store.chunk_size)
+        dispatcher.begin_phase()
+        plan = chameleon_degraded_read_plan(
+            dispatcher, chunk, store, injector, client_node
+        )
+    read = DegradedRead(
+        chunk=chunk, client=client_node, issued_at=cluster.sim.now
+    )
+    instance = PlanInstance(
+        cluster,
+        plan,
+        chunk_size=store.chunk_size,
+        slice_size=slice_size,
+        final_write=False,  # delivered to the client, not persisted
+        on_complete=lambda inst: setattr(read, "completed_at", cluster.sim.now),
+    )
+    instance.start()
+    return read, instance

@@ -1,0 +1,139 @@
+"""Repair plans: who sends what to whom when repairing one chunk.
+
+A repair plan (Section II-C) covers k sources and one destination. Every
+source uploads exactly once; its upload carries the linear combination of
+its own (coefficient-scaled) chunk and everything it received. The plan
+is therefore fully described by *parent pointers*: ``parent[x]`` is the
+node that downloads source ``x``'s upload. All classic structures are
+special cases —
+
+* conventional repair (CR): every parent is the destination (a star);
+* PPR: a binomial combining tree;
+* ECPipe: a chain;
+* ChameleonEC: an arbitrary in-tree produced by Algorithm 1.
+
+Re-tuning a plan (Section III-C) is a parent-pointer rewrite, and the
+linearity of erasure coding guarantees the rewritten plan still decodes
+— :mod:`repro.repair.executor` verifies this over real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.stripes import ChunkId
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class PlanSource:
+    """One helper: the node serving chunk ``chunk_index`` scaled by
+    ``coefficient`` in the failed chunk's decoding equation."""
+
+    node_id: int
+    chunk_index: int
+    coefficient: int
+
+
+@dataclass
+class RepairPlan:
+    """An in-tree of transmissions repairing one failed chunk."""
+
+    chunk: ChunkId
+    destination: int
+    sources: list[PlanSource]
+    parent: dict[int, int] = field(default_factory=dict)
+    read_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise PlanError(f"plan for {self.chunk} has no sources")
+        node_ids = [s.node_id for s in self.sources]
+        if len(set(node_ids)) != len(node_ids):
+            raise PlanError(f"plan for {self.chunk} repeats a source node")
+        if self.destination in node_ids:
+            raise PlanError("destination cannot be one of the sources")
+        if not self.parent:
+            # Default to conventional repair (a star onto the destination).
+            self.parent = {nid: self.destination for nid in node_ids}
+        self.validate()
+
+    @property
+    def source_nodes(self) -> list[int]:
+        """Node ids of all sources, in declaration order."""
+        return [s.node_id for s in self.sources]
+
+    def source_by_node(self, node_id: int) -> PlanSource:
+        """The PlanSource served by ``node_id`` (raises if absent)."""
+        for src in self.sources:
+            if src.node_id == node_id:
+                return src
+        raise PlanError(f"node {node_id} is not a source of this plan")
+
+    def children(self, node_id: int) -> list[int]:
+        """Sources whose upload is downloaded by ``node_id``."""
+        return [x for x, y in self.parent.items() if y == node_id]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (uploader, downloader) transmission paths."""
+        return sorted(self.parent.items())
+
+    def relays(self) -> list[int]:
+        """Source nodes that also download (and hence combine) chunks."""
+        targets = set(self.parent.values())
+        return sorted(set(self.source_nodes) & targets)
+
+    def download_counts(self) -> dict[int, int]:
+        """Downloads per node (the destination included)."""
+        counts: dict[int, int] = {}
+        for _, y in self.parent.items():
+            counts[y] = counts.get(y, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check the plan is a forest of in-trees rooted at the destination."""
+        nodes = set(self.source_nodes)
+        if set(self.parent) != nodes:
+            raise PlanError(
+                f"plan for {self.chunk}: parent map must cover exactly the sources"
+            )
+        for x, y in self.parent.items():
+            if y != self.destination and y not in nodes:
+                raise PlanError(f"edge {x}->{y} targets a node outside the plan")
+            if x == y:
+                raise PlanError(f"node {x} uploads to itself")
+        if self.destination not in self.parent.values():
+            raise PlanError("no transmission reaches the destination")
+        # Every source must reach the destination without cycles.
+        for start in nodes:
+            seen = set()
+            node = start
+            while node != self.destination:
+                if node in seen:
+                    raise PlanError(f"cycle detected through node {node}")
+                seen.add(node)
+                node = self.parent[node]
+
+    def redirect_to_destination(self, uploader: int) -> None:
+        """Re-tune: make ``uploader`` send directly to the destination.
+
+        This is the Section III-C repair re-tuning primitive — a delayed
+        download at ``parent[uploader]`` is bypassed by re-pointing the
+        uploader at the destination; correctness is preserved by
+        linearity (the destination XORs whatever arrives).
+        """
+        if uploader not in self.parent:
+            raise PlanError(f"node {uploader} is not an uploader in this plan")
+        self.parent[uploader] = self.destination
+        self.validate()
+
+    def transmission_rounds(self) -> int:
+        """Tree depth: serialized rounds without slicing (CR = 1 + ...)."""
+        depth = 0
+        for start in self.source_nodes:
+            d, node = 1, start
+            while self.parent[node] != self.destination:
+                node = self.parent[node]
+                d += 1
+            depth = max(depth, d)
+        return depth

@@ -1,0 +1,20 @@
+"""Discrete-event fluid-flow network/storage simulator."""
+
+from repro.sim.allocator import allocate_rates
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.flows import Flow, FlowScheduler
+from repro.sim.resources import Resource
+from repro.sim.transfers import Transfer, TransferManager
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Flow",
+    "FlowScheduler",
+    "Resource",
+    "Simulator",
+    "Transfer",
+    "TransferManager",
+    "allocate_rates",
+]

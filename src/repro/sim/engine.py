@@ -1,0 +1,79 @@
+"""The discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    All timestamps are seconds of simulated time. Components schedule
+    callbacks with :meth:`schedule` (relative) or :meth:`call_at`
+    (absolute) and the owner drives the loop with :meth:`run`.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(max(time, self._now), callback, *args)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the simulation time when the loop stops: either the queue
+        drained or the next event lies beyond ``until`` (in which case the
+        clock is advanced exactly to ``until``).
+        """
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                if event.time < self._now - 1e-9:
+                    raise SimulationError("event queue produced a past event")
+                self._now = event.time
+                event.callback(*event.args)
+            else:
+                pass
+        finally:
+            self._running = False
+        if until is not None and self._queue.peek_time() is None and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._running = False
+
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

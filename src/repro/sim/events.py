@@ -1,0 +1,57 @@
+"""Event queue primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of events with stable FIFO ordering at equal timestamps."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest live event, or None if the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,184 @@
+"""Fluid flows and the scheduler that drives them to completion."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.allocator import allocate_rates
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+_EPSILON_BYTES = 1e-6
+_flow_ids = itertools.count()
+
+
+class Flow:
+    """A single data movement across a fixed set of resources.
+
+    The flow occupies every resource in ``resources`` simultaneously (e.g.
+    source uplink + destination downlink + destination disk) and advances
+    at the max-min fair rate the allocator assigns.
+    """
+
+    __slots__ = (
+        "id",
+        "name",
+        "size",
+        "resources",
+        "tag",
+        "remaining",
+        "rate",
+        "started_at",
+        "completed_at",
+        "cancelled",
+        "on_complete",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size: float,
+        resources: tuple[Resource, ...],
+        tag: str = "default",
+    ) -> None:
+        if size < 0:
+            raise SimulationError(f"flow {name!r} has negative size")
+        self.id = next(_flow_ids)
+        self.name = name
+        self.size = float(size)
+        self.resources = tuple(resources)
+        self.tag = tag
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.cancelled = False
+        self.on_complete: list[Callable[[Flow], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the flow delivered all its bytes."""
+        return self.completed_at is not None
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far."""
+        return self.size - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<Flow {self.name} {self.transferred:.0f}/{self.size:.0f}B>"
+
+
+class FlowScheduler:
+    """Owns the active flow set; settles progress and reallocates rates.
+
+    All mutations (start, cancel, capacity change) first *settle*: elapsed
+    time since the last settle is converted into transferred bytes at the
+    current rates and attributed to each resource's per-tag counters. Rate
+    recomputation is deferred to an immediate event so that a burst of
+    mutations at one timestamp pays for a single allocation pass.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.active: set[Flow] = set()
+        self._last_settle = sim.now
+        self._recompute_event = None
+        self._completion_event = None
+
+    def start_flow(self, flow: Flow) -> None:
+        """Begin transferring ``flow``; completion callbacks fire later."""
+        if flow.done or flow.cancelled:
+            raise SimulationError(f"cannot start finished flow {flow.name!r}")
+        self._settle()
+        flow.started_at = self.sim.now
+        if flow.remaining <= _EPSILON_BYTES:
+            # Zero-byte flow: complete immediately (still asynchronously,
+            # so callers observe a consistent ordering).
+            self.sim.schedule(0.0, self._complete_flow, flow)
+            return
+        self.active.add(flow)
+        self._request_recompute()
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort a flow; its completion callbacks never fire."""
+        flow.cancelled = True
+        if flow in self.active:
+            self._settle()
+            self.active.discard(flow)
+            self._request_recompute()
+
+    def capacity_changed(self) -> None:
+        """Re-run allocation after a resource capacity was modified."""
+        self._settle()
+        self._request_recompute()
+
+    def settle_now(self) -> None:
+        """Flush in-flight progress into the resource byte counters.
+
+        Monitors call this before reading counters; otherwise bytes
+        transferred since the last flow event would be invisible.
+        """
+        self._settle()
+
+    # -- internal machinery -------------------------------------------------
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt <= 0:
+            self._last_settle = now
+            return
+        for flow in self.active:
+            delta = min(flow.remaining, flow.rate * dt)
+            if delta <= 0:
+                continue
+            flow.remaining -= delta
+            for res in flow.resources:
+                res.account(flow.tag, delta)
+        self._last_settle = now
+
+    def _request_recompute(self) -> None:
+        if self._recompute_event is None or self._recompute_event.cancelled:
+            self._recompute_event = self.sim.schedule(0.0, self._do_recompute)
+
+    def _do_recompute(self) -> None:
+        self._recompute_event = None
+        allocate_rates(self.active)
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        next_finish = None
+        for flow in self.active:
+            if flow.rate <= 0:
+                continue
+            eta = flow.remaining / flow.rate if flow.rate != float("inf") else 0.0
+            if next_finish is None or eta < next_finish:
+                next_finish = eta
+        if next_finish is not None:
+            self._completion_event = self.sim.schedule(
+                next_finish, self._on_completion_event
+            )
+
+    def _on_completion_event(self) -> None:
+        self._completion_event = None
+        self._settle()
+        finished = [f for f in self.active if f.remaining <= _EPSILON_BYTES]
+        for flow in finished:
+            self.active.discard(flow)
+        for flow in finished:
+            self._complete_flow(flow)
+        self._request_recompute()
+
+    def _complete_flow(self, flow: Flow) -> None:
+        if flow.done or flow.cancelled:
+            return
+        flow.remaining = 0.0
+        flow.completed_at = self.sim.now
+        for callback in list(flow.on_complete):
+            callback(flow)

@@ -1,0 +1,192 @@
+"""Sliced, pipelined transfers built on top of fluid flows.
+
+The paper (Section V-A) splits every chunk into fixed-size slices and
+pipelines storage and network I/O for *all* repair algorithms. A
+:class:`Transfer` models one chunk-sized movement between two endpoints
+as an ordered sequence of slice flows; slice ``j`` may start only after
+
+* slice ``j - 1`` of the same transfer finished (in-order delivery), and
+* slice ``j`` of every dependency transfer finished (relay semantics:
+  a relay can forward slice ``j`` of its partial result only once it has
+  received slice ``j`` from each input).
+
+This reproduces ECPipe's O(1) pipelining, PPR's tree stages, and the
+slice-level behaviour of ChameleonEC's tunable plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.flows import Flow, FlowScheduler
+from repro.sim.resources import Resource
+
+_transfer_ids = itertools.count()
+
+
+class Transfer:
+    """A sliced data movement with cross-transfer pipelining dependencies."""
+
+    def __init__(
+        self,
+        name: str,
+        resources: tuple[Resource, ...],
+        size: float,
+        slice_size: float,
+        tag: str = "default",
+    ) -> None:
+        if size <= 0:
+            raise SimulationError(f"transfer {name!r} needs positive size")
+        if slice_size <= 0:
+            raise SimulationError(f"transfer {name!r} needs positive slice size")
+        self.id = next(_transfer_ids)
+        self.name = name
+        self.resources = tuple(resources)
+        self.size = float(size)
+        self.tag = tag
+        self.num_slices = max(1, math.ceil(size / slice_size))
+        base = size / self.num_slices
+        self.slice_sizes = [base] * self.num_slices
+        self.deps: list[Transfer] = []
+        self.dependents: list[Transfer] = []
+        self.completed_slices = 0
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.cancelled = False
+        self.paused = False
+        self.released = False
+        self.on_complete: list[Callable[[Transfer], None]] = []
+        self.on_slice: list[Callable[[Transfer, int], None]] = []
+        self._manager: TransferManager | None = None
+        self._inflight: Flow | None = None
+
+    def depends_on(self, other: Transfer) -> Transfer:
+        """Declare a slice-wise pipeline dependency on ``other``."""
+        if other is self:
+            raise SimulationError("a transfer cannot depend on itself")
+        self.deps.append(other)
+        other.dependents.append(self)
+        return self
+
+    @property
+    def done(self) -> bool:
+        """True once every slice completed."""
+        return self.completed_at is not None
+
+    @property
+    def bytes_completed(self) -> float:
+        """Bytes of fully delivered slices."""
+        return sum(self.slice_sizes[: self.completed_slices])
+
+    @property
+    def active(self) -> bool:
+        """Released, unfinished, and not cancelled."""
+        return self.released and not self.done and not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<Transfer {self.name} {self.completed_slices}/{self.num_slices} slices>"
+        )
+
+
+class TransferManager:
+    """Launches slice flows respecting pipeline dependencies."""
+
+    def __init__(self, scheduler: FlowScheduler) -> None:
+        self.scheduler = scheduler
+
+    def start(self, transfer: Transfer) -> None:
+        """Release a transfer; slices launch as dependencies permit."""
+        if transfer.cancelled:
+            raise SimulationError(f"cannot start cancelled transfer {transfer.name!r}")
+        if transfer.released:
+            return
+        transfer._manager = self
+        transfer.released = True
+        transfer.started_at = self.scheduler.sim.now
+        self._try_launch(transfer)
+
+    def pause(self, transfer: Transfer) -> None:
+        """Stop launching further slices (the in-flight slice completes)."""
+        transfer.paused = True
+
+    def resume(self, transfer: Transfer) -> None:
+        """Continue a paused transfer."""
+        if not transfer.paused:
+            return
+        transfer.paused = False
+        if transfer.released:
+            self._try_launch(transfer)
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Abort the transfer: in-flight slice is dropped, no callbacks fire."""
+        transfer.cancelled = True
+        if transfer._inflight is not None:
+            self.scheduler.cancel_flow(transfer._inflight)
+            transfer._inflight = None
+        # Dependents blocked on this transfer's remaining slices may now run.
+        for dependent in transfer.dependents:
+            if dependent.released:
+                self._try_launch(dependent)
+
+    # -- internals -----------------------------------------------------------
+
+    def _deps_ready(self, transfer: Transfer, slice_idx: int) -> bool:
+        for dep in transfer.deps:
+            if dep.cancelled:
+                # A cancelled dependency no longer gates this transfer
+                # (re-tuning removes inputs and redirects them elsewhere).
+                continue
+            # Proportional gating: finishing slice j of this transfer
+            # requires the corresponding fraction of every input, so the
+            # last slice always waits for the whole dependency (a relay
+            # cannot emit its final combined bytes before receiving all
+            # inputs, whatever the relative sizes).
+            fraction = (slice_idx + 1) / transfer.num_slices
+            needed = math.ceil(fraction * dep.num_slices - 1e-9)
+            if dep.completed_slices < min(needed, dep.num_slices):
+                return False
+        return True
+
+    def _try_launch(self, transfer: Transfer) -> None:
+        if (
+            not transfer.active
+            or transfer.paused
+            or transfer._inflight is not None
+        ):
+            return
+        idx = transfer.completed_slices
+        if idx >= transfer.num_slices:
+            return
+        if not self._deps_ready(transfer, idx):
+            return
+        flow = Flow(
+            name=f"{transfer.name}[{idx}]",
+            size=transfer.slice_sizes[idx],
+            resources=transfer.resources,
+            tag=transfer.tag,
+        )
+        flow.on_complete.append(lambda _f, t=transfer, i=idx: self._slice_done(t, i))
+        transfer._inflight = flow
+        self.scheduler.start_flow(flow)
+
+    def _slice_done(self, transfer: Transfer, idx: int) -> None:
+        transfer._inflight = None
+        if transfer.cancelled:
+            return
+        transfer.completed_slices = idx + 1
+        for callback in list(transfer.on_slice):
+            callback(transfer, idx)
+        # Wake dependents that were waiting on this slice.
+        for dependent in transfer.dependents:
+            if dependent.released:
+                self._try_launch(dependent)
+        if transfer.completed_slices >= transfer.num_slices:
+            transfer.completed_at = self.scheduler.sim.now
+            for callback in list(transfer.on_complete):
+                callback(transfer)
+        else:
+            self._try_launch(transfer)

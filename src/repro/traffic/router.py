@@ -1,0 +1,44 @@
+"""Key-to-node routing for foreground requests."""
+
+from __future__ import annotations
+
+from repro.cluster.stripes import StripeStore
+from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
+
+
+class KeyRouter:
+    """Maps request keys onto the storage node holding their data chunk.
+
+    Keys hash deterministically onto (stripe, data-chunk) pairs, so the
+    foreground load distribution follows the stripe placement, exactly as
+    when YCSB rows live in erasure-coded chunks. If the owning node is
+    dead, the request is served by another survivor of the same stripe
+    (degraded service; the dedicated degraded-read path is measured
+    separately in Exp#10).
+    """
+
+    def __init__(self, store: StripeStore, cluster: Cluster) -> None:
+        if not store.stripes:
+            raise SimulationError("router needs at least one stripe")
+        self.store = store
+        self.cluster = cluster
+
+    def locate(self, key: int) -> tuple[int, int]:
+        """(stripe_id, chunk_index) that owns ``key``."""
+        stripe_ids = sorted(self.store.stripes)
+        stripe_id = stripe_ids[key % len(stripe_ids)]
+        chunk_index = (key // len(stripe_ids)) % self.store.code.k
+        return stripe_id, chunk_index
+
+    def node_for(self, key: int) -> int:
+        """The alive node that serves requests for ``key``."""
+        stripe_id, chunk_index = self.locate(key)
+        stripe = self.store.stripes[stripe_id]
+        owner = stripe.node_of(chunk_index)
+        if self.cluster.node(owner).alive:
+            return owner
+        for node_id in stripe.chunk_nodes:
+            if self.cluster.node(node_id).alive:
+                return node_id
+        raise SimulationError(f"no alive replica for key {key}")

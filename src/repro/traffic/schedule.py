@@ -1,0 +1,44 @@
+"""Time-based trace transitions (the adaptivity experiment, Exp#4)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.traffic.traces import Request, TraceGenerator
+
+
+class TransitioningTrace(TraceGenerator):
+    """A generator that switches between traces on a fixed schedule.
+
+    ``segments`` is a list of (duration_seconds, generator); the active
+    generator is chosen by current simulated time, cycling after the last
+    segment — this reproduces Exp#4's "replay each trace for 15 seconds,
+    transition to another trace" setup.
+    """
+
+    def __init__(self, sim: Simulator, segments: list[tuple[float, TraceGenerator]]) -> None:
+        if not segments:
+            raise SimulationError("need at least one trace segment")
+        if any(duration <= 0 for duration, _ in segments):
+            raise SimulationError("segment durations must be positive")
+        self.sim = sim
+        self.segments = segments
+        self.cycle = sum(duration for duration, _ in segments)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """Concatenated segment names."""
+        return "+".join(gen.name for _, gen in self.segments)
+
+    def active_generator(self, time: float | None = None) -> TraceGenerator:
+        """The generator owning the (given or current) instant."""
+        t = (self.sim.now if time is None else time) % self.cycle
+        for duration, gen in self.segments:
+            if t < duration:
+                return gen
+            t -= duration
+        return self.segments[-1][1]
+
+    def next_request(self) -> Request:
+        """A request from whichever trace is active right now."""
+        return self.active_generator().next_request()

@@ -1,0 +1,117 @@
+"""Recording and replaying request traces as files.
+
+The paper replays captured production traces (IBM Object Store, Twitter
+Memcached); this module lets users do the same with their own captures:
+a trace file is CSV with one ``op,key,size`` row per request. Generators
+can be recorded to files, and files replayed through
+:class:`FileTrace`, which satisfies the same interface as
+:class:`~repro.traffic.traces.TraceGenerator`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.traffic.traces import Request, TraceGenerator
+
+_VALID_OPS = ("read", "update")
+
+
+def save_trace(requests, path: str | Path) -> int:
+    """Write requests (any iterable of :class:`Request`) to a CSV file.
+
+    Returns the number of rows written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["op", "key", "size"])
+        for request in requests:
+            if request.op not in _VALID_OPS:
+                raise SimulationError(f"invalid op {request.op!r} in trace")
+            writer.writerow([request.op, request.key, f"{request.size:g}"])
+            count += 1
+    return count
+
+
+def record_trace(
+    generator: TraceGenerator, count: int, path: str | Path
+) -> int:
+    """Sample ``count`` requests from a generator into a trace file."""
+    if count < 1:
+        raise SimulationError("record_trace needs a positive request count")
+    return save_trace(generator.requests(count), path)
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Read a trace file back into memory (validating every row)."""
+    path = Path(path)
+    if not path.exists():
+        raise SimulationError(f"trace file {path} does not exist")
+    requests: list[Request] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["op", "key", "size"]:
+            raise SimulationError(f"{path}: not a trace file (bad header {header})")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise SimulationError(f"{path}:{line_no}: expected 3 columns")
+            op, key, size = row
+            if op not in _VALID_OPS:
+                raise SimulationError(f"{path}:{line_no}: invalid op {op!r}")
+            try:
+                parsed = Request(op=op, key=int(key), size=float(size))
+            except ValueError as exc:
+                raise SimulationError(f"{path}:{line_no}: {exc}") from None
+            if parsed.size <= 0:
+                raise SimulationError(f"{path}:{line_no}: size must be positive")
+            requests.append(parsed)
+    if not requests:
+        raise SimulationError(f"{path}: trace file holds no requests")
+    return requests
+
+
+class FileTrace:
+    """Replays a recorded trace file; drop-in for a TraceGenerator.
+
+    ``loop`` controls behaviour at end-of-trace: cycle back to the start
+    (the default, matching unbounded clients) or raise StopIteration
+    semantics via :class:`SimulationError`.
+    """
+
+    def __init__(self, path: str | Path, *, loop: bool = True) -> None:
+        self.path = Path(path)
+        self.requests_list = load_trace(self.path)
+        self.loop = loop
+        self._cursor = 0
+
+    @property
+    def name(self) -> str:
+        """Display name carrying the source file."""
+        return f"file:{self.path.name}"
+
+    def __len__(self) -> int:
+        return len(self.requests_list)
+
+    def next_request(self) -> Request:
+        """The next recorded request (wraps around when ``loop``)."""
+        if self._cursor >= len(self.requests_list):
+            if not self.loop:
+                raise SimulationError(f"trace {self.path} exhausted")
+            self._cursor = 0
+        request = self.requests_list[self._cursor]
+        self._cursor += 1
+        return request
+
+    def requests(self, count: int):
+        """Yield exactly ``count`` replayed requests."""
+        for _ in range(count):
+            yield self.next_request()
+
+    def rewind(self) -> None:
+        """Restart replay from the first recorded request."""
+        self._cursor = 0

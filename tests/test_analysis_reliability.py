@@ -1,0 +1,73 @@
+"""Tests for the Fig. 2 reliability model."""
+
+import math
+
+import pytest
+
+from repro.analysis import ReliabilityModel, loss_probability_curve
+from repro.errors import ReproError
+
+
+class TestReliabilityModel:
+    def test_repair_duration(self):
+        model = ReliabilityModel()
+        # 96 TB at 100 MB/s.
+        assert model.repair_duration(100e6) == pytest.approx(96e12 / 100e6)
+
+    def test_failure_probability_monotone_in_duration(self):
+        model = ReliabilityModel()
+        assert model.failure_probability(10.0) < model.failure_probability(1e6)
+        assert 0 <= model.failure_probability(1.0) < 1
+
+    def test_loss_probability_decreases_with_throughput(self):
+        model = ReliabilityModel(k=10, m=4)
+        slow = model.data_loss_probability(50e6)
+        fast = model.data_loss_probability(800e6)
+        assert slow > fast > 0
+
+    def test_more_parity_lowers_loss(self):
+        weak = ReliabilityModel(k=10, m=2)
+        strong = ReliabilityModel(k=10, m=4)
+        assert strong.data_loss_probability(100e6) < weak.data_loss_probability(100e6)
+
+    def test_limits(self):
+        model = ReliabilityModel()
+        # Instant repair: essentially no loss window.
+        assert model.data_loss_probability(1e18) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mttdl_trend_inverse(self):
+        model = ReliabilityModel()
+        assert model.mttdl_trend(800e6) > model.mttdl_trend(50e6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            ReliabilityModel(k=0)
+        with pytest.raises(ReproError):
+            ReliabilityModel(node_capacity_bytes=0)
+        with pytest.raises(ReproError):
+            ReliabilityModel().repair_duration(0)
+
+    def test_binomial_identity(self):
+        # With f -> probabilities, the survive terms must sum below 1.
+        model = ReliabilityModel(k=4, m=2)
+        p = model.data_loss_probability(10e6)
+        assert 0 < p < 1
+
+    def test_matches_closed_form_small_case(self):
+        # k=1, m=1: loss iff the single peer fails during repair.
+        model = ReliabilityModel(k=1, m=1)
+        tau = model.repair_duration(100e6)
+        f = 1 - math.exp(-tau / model.node_lifetime_seconds)
+        assert model.data_loss_probability(100e6) == pytest.approx(f)
+
+
+class TestCurve:
+    def test_curve_shape(self):
+        curve = loss_probability_curve([50, 100, 200])
+        assert len(curve) == 3
+        probs = [p for _, p in curve]
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_custom_model(self):
+        curve = loss_probability_curve([100], ReliabilityModel(k=6, m=3))
+        assert curve[0][0] == 100

@@ -1,0 +1,113 @@
+"""Unit tests for the Butterfly-style (4,2) regenerating code."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ButterflyCode, make_code
+from repro.errors import CodingError
+
+
+def build_stripe(seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(2)]
+    return data, ButterflyCode().encode(data)
+
+
+class TestEncode:
+    def test_stripe_length(self):
+        _, stripe = build_stripe()
+        assert len(stripe) == 4
+
+    def test_parity_definitions(self):
+        data, stripe = build_stripe(seed=1, size=8)
+        a1, a2 = data[0][:4], data[0][4:]
+        b1, b2 = data[1][:4], data[1][4:]
+        assert np.array_equal(stripe[2], np.concatenate([a1 ^ b1, a2 ^ b2]))
+        assert np.array_equal(stripe[3], np.concatenate([a1 ^ b2, a1 ^ a2 ^ b1]))
+
+    def test_odd_length_raises(self):
+        with pytest.raises(CodingError):
+            ButterflyCode().encode([np.zeros(3, dtype=np.uint8)] * 2)
+
+    def test_only_42_supported(self):
+        with pytest.raises(CodingError):
+            ButterflyCode(3, 2)
+
+
+class TestMDS:
+    def test_any_two_chunks_decode(self):
+        _, stripe = build_stripe(seed=2)
+        for pair in itertools.combinations(range(4), 2):
+            decoded = ButterflyCode().decode({i: stripe[i] for i in pair})
+            for i in range(4):
+                assert np.array_equal(decoded[i], stripe[i])
+
+    def test_single_chunk_insufficient(self):
+        _, stripe = build_stripe(seed=3)
+        with pytest.raises(CodingError):
+            ButterflyCode().decode({0: stripe[0]})
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_decode_property(self, seed):
+        rng = np.random.default_rng(seed)
+        data = [rng.integers(0, 256, size=16, dtype=np.uint8) for _ in range(2)]
+        stripe = ButterflyCode().encode(data)
+        pair = sorted(rng.choice(4, size=2, replace=False))
+        decoded = ButterflyCode().decode({int(i): stripe[int(i)] for i in pair})
+        assert np.array_equal(decoded[0], data[0])
+        assert np.array_equal(decoded[1], data[1])
+
+
+class TestRepair:
+    @pytest.mark.parametrize("failed", [0, 1, 2, 3])
+    def test_repair_chunk_correct(self, failed):
+        _, stripe = build_stripe(seed=failed + 10)
+        code = ButterflyCode()
+        helpers = {i: stripe[i] for i in range(4) if i != failed}
+        repaired = code.repair_chunk(failed, helpers)
+        assert np.array_equal(repaired, stripe[failed])
+
+    @pytest.mark.parametrize("failed", [0, 1, 2])
+    def test_optimised_repair_reads_three_subchunks(self, failed):
+        reads = ButterflyCode().repair_reads(failed)
+        total = sum(len(subs) for subs in reads.values())
+        assert total == 3  # 1.5 chunks < k = 2 chunks
+
+    def test_q_repair_reads_four_subchunks(self):
+        reads = ButterflyCode().repair_reads(3)
+        assert sum(len(subs) for subs in reads.values()) == 4
+
+    @pytest.mark.parametrize("failed", [0, 1, 2])
+    def test_repair_equation_half_reads(self, failed):
+        eq = ButterflyCode().repair_equation(failed)
+        assert eq.read_fraction == 0.5
+        assert len(eq.coefficients) == 3
+        assert eq.traffic_chunks == 1.5
+
+    def test_repair_equation_q(self):
+        eq = ButterflyCode().repair_equation(3)
+        assert eq.traffic_chunks == 2.0
+
+    def test_repair_with_missing_helper_degrades(self):
+        eq = ButterflyCode().repair_equation(0, available={1, 2})
+        assert set(eq.coefficients) == {1, 2}
+        assert eq.read_fraction == 1.0
+
+    def test_repair_chunk_missing_helper_raises(self):
+        _, stripe = build_stripe(seed=20)
+        with pytest.raises(CodingError):
+            ButterflyCode().repair_chunk(0, {1: stripe[1]})
+
+    def test_no_partial_combine(self):
+        assert ButterflyCode().supports_partial_combine is False
+
+    def test_make_code(self):
+        code = make_code("Butterfly(4,2)")
+        assert isinstance(code, ButterflyCode)
+        with pytest.raises(CodingError):
+            make_code("Butterfly(6,4)")

@@ -1,0 +1,110 @@
+"""Unit tests for Azure-style LRC codes."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LRCCode, make_code
+from repro.errors import CodingError
+from repro.gf import vec_addmul
+
+
+def build_stripe(code, seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(code.k)]
+    return data, code.encode(data)
+
+
+def apply_equation(eq, stripe):
+    acc = np.zeros_like(stripe[0])
+    for src, coeff in eq.coefficients.items():
+        vec_addmul(acc, stripe[src], coeff)
+    return acc
+
+
+class TestStructure:
+    def test_stripe_layout(self):
+        code = LRCCode(4, 2, 2)
+        assert code.n == 8
+        assert code.group_size == 2
+
+    def test_k_not_divisible_raises(self):
+        with pytest.raises(CodingError):
+            LRCCode(5, 2, 2)
+
+    def test_local_parity_is_group_xor(self):
+        code = LRCCode(4, 2, 2)
+        data, stripe = build_stripe(code, seed=1)
+        assert np.array_equal(stripe[4], data[0] ^ data[1])
+        assert np.array_equal(stripe[5], data[2] ^ data[3])
+
+    def test_group_of(self):
+        code = LRCCode(4, 2, 2)
+        assert code.group_of(0) == 0
+        assert code.group_of(3) == 1
+        assert code.group_of(4) == 0  # local parity of group 0
+        assert code.group_of(6) is None  # global parity
+
+    def test_local_group_members(self):
+        code = LRCCode(4, 2, 2)
+        assert code.local_group_members(0) == [0, 1, 4]
+        assert code.local_group_members(1) == [2, 3, 5]
+        with pytest.raises(CodingError):
+            code.local_group_members(2)
+
+
+class TestRepair:
+    @pytest.mark.parametrize("k,l,m", [(4, 2, 2), (8, 2, 2), (10, 2, 2)])
+    def test_data_repair_is_local(self, k, l, m):
+        code = LRCCode(k, l, m)
+        _, stripe = build_stripe(code, seed=k)
+        for failed in range(k):
+            eq = code.repair_equation(failed)
+            # Local repair: k/l sources, all inside the failed chunk's group.
+            assert len(eq.coefficients) == k // l
+            group = code.group_of(failed)
+            members = set(code.local_group_members(group))
+            assert set(eq.coefficients) <= members
+            assert np.array_equal(apply_equation(eq, stripe), stripe[failed])
+
+    def test_local_parity_repair_is_local(self):
+        code = LRCCode(4, 2, 2)
+        _, stripe = build_stripe(code, seed=3)
+        eq = code.repair_equation(4)
+        assert set(eq.coefficients) == {0, 1}
+        assert np.array_equal(apply_equation(eq, stripe), stripe[4])
+
+    def test_global_parity_repair_reads_k(self):
+        code = LRCCode(4, 2, 2)
+        _, stripe = build_stripe(code, seed=4)
+        for failed in (6, 7):
+            eq = code.repair_equation(failed)
+            assert len(eq.coefficients) == code.k
+            assert np.array_equal(apply_equation(eq, stripe), stripe[failed])
+
+    def test_repair_without_local_parity_falls_back(self):
+        code = LRCCode(4, 2, 2)
+        _, stripe = build_stripe(code, seed=5)
+        available = set(range(8)) - {0, 4}  # chunk 0 failed, its parity also gone
+        eq = code.repair_equation(0, available=available)
+        assert set(eq.coefficients) <= available
+        assert np.array_equal(apply_equation(eq, stripe), stripe[0])
+
+
+class TestDecode:
+    def test_decode_after_m_plus_one_failures(self):
+        code = LRCCode(4, 2, 2)
+        data, stripe = build_stripe(code, seed=6)
+        # Lose one chunk per group plus one global parity = 3 = m + 1.
+        available = {i: stripe[i] for i in range(8) if i not in (0, 2, 6)}
+        decoded = code.decode(available)
+        for i in range(8):
+            assert np.array_equal(decoded[i], stripe[i])
+
+    def test_fault_tolerance_reported(self):
+        assert LRCCode(4, 2, 2).fault_tolerance() == 3
+
+    def test_make_code(self):
+        code = make_code("LRC(10,2,2)")
+        assert isinstance(code, LRCCode)
+        assert code.name == "LRC(10,2,2)"
+        assert code.group_size == 5

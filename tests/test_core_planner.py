@@ -1,0 +1,135 @@
+"""Unit tests for Algorithm 1 (tunable repair-plan establishment)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ChunkId, Cluster, FailureInjector, MB, mbs, place_stripes
+from repro.codes import RSCode
+from repro.core import TaskDispatcher, build_parent_map, build_plan
+from repro.core.tasks import ChunkDispatch
+from repro.monitor import BandwidthMonitor
+from repro.repair import execute_plan
+
+CHUNK = 16 * MB
+
+
+def make_dispatch(source_downloads, dest_downloads, destination=99):
+    """Hand-craft a ChunkDispatch with the given download distribution."""
+    participants = sorted(source_downloads)
+    return ChunkDispatch(
+        chunk=ChunkId(0, 0),
+        destination=destination,
+        participants=participants,
+        chunk_indices={n: i + 1 for i, n in enumerate(participants)},
+        source_downloads={n: d for n, d in source_downloads.items() if d > 0},
+        dest_downloads=dest_downloads,
+    )
+
+
+class TestParentMap:
+    def test_star_when_all_downloads_at_destination(self):
+        d = make_dispatch({1: 0, 2: 0, 3: 0, 4: 0}, dest_downloads=4)
+        parent = build_parent_map(d)
+        assert parent == {1: 99, 2: 99, 3: 99, 4: 99}
+
+    def test_paper_example_figure9(self):
+        # Fig. 8/9: sources N1, N3, N4, N7; N3 has two downloads, N4 one;
+        # destination (N6) has one. The plan pairs the no-download
+        # sources into the relays and N3's leftover upload feeds N6.
+        d = make_dispatch({1: 0, 3: 2, 4: 1, 7: 0}, dest_downloads=1, destination=6)
+        parent = build_parent_map(d)
+        # Exactly one edge into the destination.
+        assert sum(1 for v in parent.values() if v == 6) == 1
+        # N3 receives two uploads, N4 one.
+        incoming = {}
+        for x, y in parent.items():
+            incoming[y] = incoming.get(y, 0) + 1
+        assert incoming[3] == 2
+        assert incoming[4] == 1
+
+    def test_every_source_uploads_exactly_once(self):
+        d = make_dispatch({1: 1, 2: 1, 3: 0, 4: 0}, dest_downloads=2)
+        parent = build_parent_map(d)
+        assert set(parent) == {1, 2, 3, 4}
+
+    def test_fewest_downloads_paired_first(self):
+        d = make_dispatch({1: 0, 2: 1, 3: 1}, dest_downloads=1)
+        # downloads: 2 at sources + 1 dest = 3 = uploads count (3 sources).
+        parent = build_parent_map(d)
+        # Node 2 (fewest downloads, lowest id on ties) is targeted first.
+        assert parent[1] == 2
+        assert parent[2] == 3
+        assert parent[3] == 99
+
+    def test_single_source(self):
+        d = make_dispatch({5: 0}, dest_downloads=1)
+        assert build_parent_map(d) == {5: 99}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_distributions_form_valid_trees(self, k, seed):
+        # Any dispatch with r uploads, r downloads (dest >= 1) must yield
+        # a valid in-tree: every source reaches the destination.
+        rng = np.random.default_rng(seed)
+        nodes = list(range(1, k + 1))
+        dest_downloads = int(rng.integers(1, k + 1))
+        remaining = k - dest_downloads
+        downloads = {n: 0 for n in nodes}
+        # Spread remaining downloads so at least one source stays at zero.
+        eligible = nodes[:-1] if k > 1 else nodes
+        for _ in range(remaining):
+            downloads[int(rng.choice(eligible))] += 1
+        d = make_dispatch(downloads, dest_downloads)
+        parent = build_parent_map(d)
+        for start in nodes:
+            seen, cur = set(), start
+            while cur != 99:
+                assert cur not in seen
+                seen.add(cur)
+                cur = parent[cur]
+        assert sum(1 for v in parent.values() if v == 99) == dest_downloads
+
+
+class TestBuildPlan:
+    def make_env(self):
+        code = RSCode(4, 2)
+        cluster = Cluster(num_nodes=12, num_clients=0, link_bw=mbs(100))
+        store = place_stripes(code, 10, cluster.storage_ids, chunk_size=CHUNK, seed=1)
+        injector = FailureInjector(cluster, store)
+        monitor = BandwidthMonitor(cluster)
+        dispatcher = TaskDispatcher(injector, monitor, chunk_size=CHUNK)
+        return code, cluster, store, injector, dispatcher
+
+    def test_dispatched_plan_decodes_correctly(self):
+        code, cluster, store, injector, dispatcher = self.make_env()
+        report = injector.fail_nodes([0])
+        rng = np.random.default_rng(3)
+        data = [rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(code.k)]
+        stripe_bytes = code.encode(data)
+        dispatcher.begin_phase()
+        for chunk in report.failed_chunks[:5]:
+            dispatch = dispatcher.dispatch_chunk(chunk, code)
+            plan = build_plan(dispatch, code, injector)
+            chunk_data = {s.chunk_index: stripe_bytes[s.chunk_index] for s in plan.sources}
+            repaired = execute_plan(plan, chunk_data)
+            assert np.array_equal(repaired, stripe_bytes[chunk.index])
+
+    def test_plan_download_counts_match_dispatch(self):
+        code, cluster, store, injector, dispatcher = self.make_env()
+        report = injector.fail_nodes([0])
+        dispatcher.begin_phase()
+        # Congest destinations to force relays.
+        chunk = report.failed_chunks[0]
+        for node in injector.candidate_destinations(chunk):
+            dispatcher.load.down[node] += 8
+        dispatch = dispatcher.dispatch_chunk(chunk, code)
+        plan = build_plan(dispatch, code, injector)
+        counts = plan.download_counts()
+        for node, expected in dispatch.source_downloads.items():
+            assert counts.get(node, 0) == expected
+        assert counts[plan.destination] == dispatch.dest_downloads

@@ -1,0 +1,120 @@
+"""Tests for the experiment CLI and row formatters (no heavy simulation)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_all_experiments_registered(self):
+        expected = {f"exp{i:02d}" for i in range(1, 14)} | {
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr_dl" in out
+        assert "50 MB/s" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["exp99"])
+
+    def test_scale_argument_parsed(self, capsys):
+        # exp05 ignores scale but exercises argument plumbing cheaply.
+        assert main(["fig2", "--scale", "0.5", "--seed", "3"]) == 0
+
+
+class TestRowFormatters:
+    def test_exp01_rows(self):
+        from repro.experiments.exp01_interference import rows_p99, rows_throughput
+        from repro.experiments.harness import RepairResult
+
+        fake = {
+            ("YCSB-A", "CR"): RepairResult(
+                algorithm="CR", trace="YCSB-A", repair_time=2.0,
+                repaired_bytes=200e6, chunks=3, p99_latency=0.004,
+            ),
+            ("YCSB-A", "ChameleonEC"): RepairResult(
+                algorithm="ChameleonEC", trace="YCSB-A", repair_time=1.0,
+                repaired_bytes=200e6, chunks=3, p99_latency=0.003,
+            ),
+        }
+        tp = rows_throughput(fake)
+        assert tp == [["YCSB-A", 100.0, 200.0]]
+        p99 = rows_p99(fake)
+        assert p99 == [["YCSB-A", 4.0, 3.0]]
+
+    def test_exp02_rows(self):
+        from repro.experiments.exp02_trace_slowdown import rows
+
+        fake = {("YCSB-A", "CR"): 0.5, ("YCSB-A", "ChameleonEC"): 0.2}
+        assert rows(fake) == [["YCSB-A", 0.5, 0.2]]
+
+    def test_exp05_rows(self):
+        from repro.experiments.exp05_computation import rows
+
+        fake = {(50, 200): 0.1, (50, 600): 0.2, (100, 200): 0.15, (100, 600): 0.3}
+        out = rows(fake)
+        assert out[0] == ["n=50", 0.1, 0.2]
+        assert out[1] == ["n=100", 0.15, 0.3]
+
+    def test_exp07_rows_missing_cells(self):
+        from repro.experiments.exp07_no_foreground import rows
+        from repro.experiments.harness import RepairResult
+
+        fake = {
+            (1.0, "CR"): RepairResult(
+                algorithm="CR", trace="none", repair_time=1.0,
+                repaired_bytes=50e6, chunks=1,
+            )
+        }
+        out = rows(fake)
+        assert out[0][0] == "1 Gb/s"
+        assert out[0][1] == 50.0
+
+    def test_fig2_rows(self):
+        from repro.experiments.figures import fig2_rows
+
+        assert fig2_rows([(50.0, 1e-6)]) == [["50 MB/s", 1e-6]]
+
+    def test_motivation_rows(self):
+        from repro.experiments.harness import RepairResult
+        from repro.experiments.motivation import rows_p99, rows_repair_time
+
+        fake = {
+            "repair": {
+                (0, "CR"): RepairResult(
+                    algorithm="CR", trace="none", repair_time=3.0,
+                    repaired_bytes=10e6, chunks=1,
+                ),
+                (4, "CR"): RepairResult(
+                    algorithm="CR", trace="YCSB-A", repair_time=5.0,
+                    repaired_bytes=10e6, chunks=1, p99_latency=0.01,
+                ),
+            },
+            "ycsb_only_p99": 0.008,
+        }
+        rt = rows_repair_time(fake)
+        assert rt[0][0] == "C=0" and rt[0][1] == 3.0
+        p99 = rows_p99(fake)
+        assert p99[0][0] == "YCSB-Only"
+        assert p99[0][1] == 8.0
+
+
+class TestPublicAPI:
+    def test_top_level_imports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,89 @@
+"""Integration tests: the experiment harness end to end (tiny scale)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    run_repair_experiment,
+    run_sim_until,
+    run_trace_only,
+    run_trace_with_repair,
+)
+
+TINY = dict(scale=0.03)
+
+
+def tiny_config(**overrides):
+    return ExperimentConfig.scaled(0.03, **overrides)
+
+
+class TestRunRepairExperiment:
+    def test_with_foreground(self):
+        result = run_repair_experiment(tiny_config(), "CR")
+        assert result.chunks == 6
+        assert result.throughput > 0
+        assert result.repair_time > 0
+        assert result.p99_latency > 0
+        assert result.foreground_requests > 0
+
+    def test_without_foreground(self):
+        result = run_repair_experiment(tiny_config(), "ChameleonEC", foreground=False)
+        assert result.trace == "none"
+        assert result.p99_latency == 0.0
+        assert result.throughput > 0
+
+    def test_multi_node(self):
+        result = run_repair_experiment(
+            tiny_config(), "ChameleonEC", failed_nodes=2, foreground=False
+        )
+        assert result.throughput > 0
+
+    def test_trace_override(self):
+        result = run_repair_experiment(tiny_config(), "CR", trace="Memcached")
+        assert result.trace == "Memcached"
+
+    def test_throughput_mbs_property(self):
+        result = run_repair_experiment(tiny_config(), "CR", foreground=False)
+        assert result.throughput_mbs == pytest.approx(result.throughput / 1e6)
+
+
+class TestTraceTiming:
+    def test_trace_only_and_with_repair(self):
+        cfg = tiny_config()
+        baseline = run_trace_only(cfg, requests_per_client=80)
+        assert baseline > 0
+        with_repair, result = run_trace_with_repair(
+            cfg, "CR", requests_per_client=80
+        )
+        assert with_repair > 0
+        assert result.chunks == 6
+        # Repair contention cannot make the trace *faster* by much.
+        assert with_repair >= baseline * 0.9
+
+
+class TestRunSimUntil:
+    def test_timeout_raises(self):
+        from repro.experiments.scenario import Scenario
+
+        scenario = Scenario(tiny_config())
+        with pytest.raises(ReproError):
+            run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
+
+
+class TestFormatTable:
+    def test_layout(self):
+        table = format_table("T", ["a", "bb"], [[1, 2.5], ["x", 0.001]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        table = format_table("T", ["col"], [])
+        assert "col" in table
+
+    def test_float_formatting(self):
+        assert "0.001" in format_table("t", ["x"], [[0.001]])
+        assert "1.23e+04" in format_table("t", ["x"], [[12345.6]])

@@ -1,0 +1,58 @@
+"""Tiny-scale smoke tests for the experiment modules (shape sanity).
+
+Each experiment's benchmark runs the full grid; these smoke tests run a
+minimal slice at scale 0.03 so `pytest tests/` alone still exercises
+every harness code path.
+"""
+
+import pytest
+
+
+class TestExperimentSlices:
+    def test_exp02_single_cell(self):
+        from repro.experiments.exp02_trace_slowdown import run_exp02
+
+        results = run_exp02(
+            scale=0.03, traces=("YCSB-A",), algorithms=("ChameleonEC",)
+        )
+        degree = results[("YCSB-A", "ChameleonEC")]
+        assert degree > -0.5  # a repair cannot speed the trace up much
+
+    def test_exp07_single_bandwidth(self):
+        from repro.experiments.exp07_no_foreground import run_exp07
+
+        results = run_exp07(
+            scale=0.03, algorithms=("CR", "ChameleonEC"), bandwidths=(10.0,)
+        )
+        assert results[(10.0, "CR")].throughput > 0
+        assert results[(10.0, "ChameleonEC")].throughput > 0
+
+    def test_exp09_butterfly_slice(self):
+        from repro.experiments.exp09_generality import run_exp09
+
+        results = run_exp09(scale=0.03, codes=("Butterfly(4,2)",))
+        assert ("Butterfly(4,2)", "CR") in results
+        assert ("Butterfly(4,2)", "ChameleonEC") in results
+        # PPR/ECPipe are skipped for Butterfly (no elastic plans).
+        assert ("Butterfly(4,2)", "PPR") not in results
+
+    def test_exp11_single_offset(self):
+        from repro.experiments.exp11_breakdown import run_exp11
+
+        results = run_exp11(
+            scale=0.03, algorithms=("ETRP",), offsets=(5.0,)
+        )
+        assert results[(5.0, "ETRP")] > 0
+
+    def test_fig5_smoke(self):
+        from repro.experiments.figures import run_fig5
+
+        stats = run_fig5(scale=0.03)
+        assert set(stats) == {"uplink", "downlink"}
+        assert all(len(v) == 3 for v in stats.values())
+
+    def test_exp05_tiny_grid(self):
+        from repro.experiments.exp05_computation import run_exp05
+
+        results = run_exp05(node_counts=(30,), chunk_counts=(20,))
+        assert results[(30, 20)] > 0

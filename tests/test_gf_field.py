@@ -1,0 +1,144 @@
+"""Unit tests for GF(2^8) scalar and vector arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodingError
+from repro.gf import (
+    EXP_TABLE,
+    INV_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    gf_sub,
+    vec_addmul,
+    vec_scale,
+    vec_xor,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_equals_add(self):
+        for a, b in [(3, 7), (255, 1), (0, 0)]:
+            assert gf_sub(a, b) == gf_add(a, b)
+
+    def test_mul_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(1, a) == a
+
+    def test_mul_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+            assert gf_mul(0, a) == 0
+
+    def test_mul_known_values(self):
+        # 2 * 2 = 4; 0x80 * 2 = 0x100 mod 0x11D = 0x1D.
+        assert gf_mul(2, 2) == 4
+        assert gf_mul(0x80, 2) == 0x1D
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(nonzero)
+    def test_inverse_roundtrip(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(CodingError):
+            gf_inv(0)
+
+    @given(elements, nonzero)
+    def test_div_mul_roundtrip(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(CodingError):
+            gf_div(5, 0)
+
+    @given(nonzero, st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        base = a if n >= 0 else gf_inv(a)
+        for _ in range(abs(n)):
+            expected = gf_mul(expected, base)
+        assert gf_pow(a, n) == expected
+
+    def test_pow_zero_base(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(CodingError):
+            gf_pow(0, -1)
+
+
+class TestTables:
+    def test_exp_log_roundtrip(self):
+        for a in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[a]] == a
+
+    def test_exp_table_periodic(self):
+        assert EXP_TABLE[255] == EXP_TABLE[0]
+
+    def test_mul_table_symmetric(self):
+        assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+    def test_inv_table_matches_gf_inv(self):
+        for a in range(1, 256):
+            assert INV_TABLE[a] == gf_inv(a)
+
+    def test_field_elements_unique(self):
+        assert len(set(int(EXP_TABLE[i]) for i in range(255))) == 255
+
+
+class TestVectorOps:
+    def test_vec_scale_by_zero_and_one(self):
+        data = np.arange(256, dtype=np.uint8)
+        assert np.all(vec_scale(data, 0) == 0)
+        assert np.array_equal(vec_scale(data, 1), data)
+
+    @given(elements)
+    def test_vec_scale_matches_scalar(self, coeff):
+        data = np.arange(256, dtype=np.uint8)
+        scaled = vec_scale(data, coeff)
+        for i in range(0, 256, 17):
+            assert scaled[i] == gf_mul(int(data[i]), coeff)
+
+    def test_vec_addmul_accumulates(self):
+        acc = np.zeros(8, dtype=np.uint8)
+        data = np.arange(8, dtype=np.uint8)
+        vec_addmul(acc, data, 3)
+        expected = vec_scale(data, 3)
+        assert np.array_equal(acc, expected)
+        vec_addmul(acc, data, 3)
+        assert np.all(acc == 0)
+
+    def test_vec_addmul_zero_coeff_is_noop(self):
+        acc = np.ones(4, dtype=np.uint8)
+        vec_addmul(acc, np.full(4, 9, dtype=np.uint8), 0)
+        assert np.all(acc == 1)
+
+    def test_vec_xor(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        assert np.array_equal(vec_xor(a, b), np.array([2, 0, 2], dtype=np.uint8))

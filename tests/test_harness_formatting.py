@@ -1,0 +1,59 @@
+"""Tests for harness result objects and table formatting edge cases."""
+
+import pytest
+
+from repro.experiments import RepairResult, format_table
+
+
+class TestRepairResult:
+    def make(self):
+        return RepairResult(
+            algorithm="ChameleonEC",
+            trace="YCSB-A",
+            repair_time=2.0,
+            repaired_bytes=1e9,
+            chunks=16,
+            p99_latency=0.005,
+            mean_latency=0.001,
+            foreground_requests=1234,
+        )
+
+    def test_throughput(self):
+        result = self.make()
+        assert result.throughput == pytest.approx(5e8)
+        assert result.throughput_mbs == pytest.approx(500.0)
+
+    def test_zero_time_zero_throughput(self):
+        result = self.make()
+        result.repair_time = 0.0
+        assert result.throughput == 0.0
+
+    def test_to_dict_roundtrip(self):
+        data = self.make().to_dict()
+        assert data["algorithm"] == "ChameleonEC"
+        assert data["throughput_mbs"] == pytest.approx(500.0)
+        assert data["foreground_requests"] == 1234
+        import json
+
+        json.dumps(data)  # must be JSON-serialisable
+
+
+class TestFormatTableEdgeCases:
+    def test_ragged_rows_padded(self):
+        table = format_table("T", ["a", "b", "c"], [[1], [1, 2, 3]])
+        lines = table.splitlines()
+        assert len(lines) == 5
+        # Padded cells render as "-".
+        assert "-" in lines[3]
+
+    def test_long_row_not_truncated_error(self):
+        # Extra columns beyond headers are preserved per-row width logic:
+        # headers define the width list, so rows must not exceed them.
+        table = format_table("T", ["a"], [[1]])
+        assert "1" in table
+
+    def test_mixed_types(self):
+        table = format_table("T", ["x", "y"], [["label", 3.14159], [42, 1e-9]])
+        assert "3.14" in table
+        assert "1e-09" in table
+        assert "42" in table

@@ -1,0 +1,143 @@
+"""End-to-end integrity: every plan the schedulers run decodes real bytes.
+
+Generates actual stripe contents, runs full simulated repairs (baselines
+and ChameleonEC, with and without stragglers), captures every repair
+plan as executed — including plans mutated by re-tuning — and checks the
+data flow reproduces the lost chunk bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, FailureInjector, MB, mbs, place_stripes
+from repro.codes import LRCCode, RSCode
+from repro.core import ChameleonRepair
+from repro.monitor import BandwidthMonitor
+from repro.repair import ConventionalRepair, ECPipe, PPR, RepairRunner, execute_plan
+from repro.sim.flows import Flow
+
+CHUNK = 8 * MB
+SLICE = 2 * MB
+
+
+def make_env(code, num_nodes=14, num_stripes=15, seed=0):
+    cluster = Cluster(num_nodes=num_nodes, num_clients=1, link_bw=mbs(200))
+    store = place_stripes(code, num_stripes, cluster.storage_ids, chunk_size=CHUNK, seed=seed)
+    injector = FailureInjector(cluster, store)
+    return cluster, store, injector
+
+
+def stripe_payloads(code, store, seed=7, size=256):
+    """Real bytes for every stripe in the store."""
+    rng = np.random.default_rng(seed)
+    payloads = {}
+    for stripe_id in store.stripes:
+        data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+        payloads[stripe_id] = code.encode(data)
+    return payloads
+
+
+def verify_plans(plans, payloads):
+    assert plans, "no plans were captured"
+    for plan in plans:
+        stripe = payloads[plan.chunk.stripe]
+        chunk_data = {s.chunk_index: stripe[s.chunk_index] for s in plan.sources}
+        repaired = execute_plan(plan, chunk_data)
+        assert np.array_equal(repaired, stripe[plan.chunk.index]), (
+            f"plan for {plan.chunk} decoded wrong bytes"
+        )
+
+
+@pytest.mark.parametrize("algo_cls", [ConventionalRepair, PPR, ECPipe])
+@pytest.mark.parametrize("code", [RSCode(4, 2), LRCCode(4, 2, 2)])
+def test_baseline_repairs_decode_exactly(algo_cls, code):
+    cluster, store, injector = make_env(code)
+    payloads = stripe_payloads(code, store)
+    report = injector.fail_nodes([0])
+    algorithm = algo_cls(seed=3)
+    plans = []
+    original = algorithm.make_plan
+
+    def capturing(chunk, code_, inj):
+        plan = original(chunk, code_, inj)
+        plans.append(plan)
+        return plan
+
+    algorithm.make_plan = capturing
+    runner = RepairRunner(
+        cluster, store, injector, algorithm, chunk_size=CHUNK, slice_size=SLICE
+    )
+    runner.repair(report.failed_chunks)
+    cluster.sim.run()
+    assert runner.done
+    verify_plans(plans, payloads)
+
+
+def test_chameleon_repair_decodes_exactly():
+    code = RSCode(4, 2)
+    cluster, store, injector = make_env(code)
+    payloads = stripe_payloads(code, store)
+    monitor = BandwidthMonitor(cluster, window=1.0)
+    monitor.start()
+    report = injector.fail_nodes([0])
+    coordinator = ChameleonRepair(
+        cluster, store, injector, monitor,
+        chunk_size=CHUNK, slice_size=SLICE, t_phase=5.0,
+    )
+    plans = []
+    original_launch = coordinator._launch
+
+    def capturing_launch(dispatch):
+        original_launch(dispatch)
+        instance = coordinator.in_flight.get(dispatch.chunk)
+        if instance is not None:
+            plans.append(instance.plan)
+
+    coordinator._launch = capturing_launch
+    coordinator.repair(report.failed_chunks)
+    while not coordinator.done and cluster.sim.now < 5000:
+        cluster.sim.run(until=cluster.sim.now + 5.0)
+    assert coordinator.done
+    assert len(plans) >= len(report.failed_chunks)
+    verify_plans(plans, payloads)
+
+
+def test_chameleon_retuned_plans_decode_exactly():
+    """Force stragglers so re-tuning mutates plans mid-flight, then verify."""
+    code = RSCode(4, 2)
+    cluster, store, injector = make_env(code, num_stripes=20, seed=5)
+    payloads = stripe_payloads(code, store)
+    monitor = BandwidthMonitor(cluster, window=0.5)
+    monitor.start()
+    report = injector.fail_nodes([0])
+    coordinator = ChameleonRepair(
+        cluster, store, injector, monitor,
+        chunk_size=CHUNK, slice_size=SLICE, t_phase=4.0,
+        check_interval=0.2, straggler_threshold=0.2,
+        enable_reordering=True, enable_retuning=True,
+    )
+    plans = []
+    original_launch = coordinator._launch
+
+    def capturing_launch(dispatch):
+        original_launch(dispatch)
+        instance = coordinator.in_flight.get(dispatch.chunk)
+        if instance is not None:
+            plans.append(instance.plan)
+
+    coordinator._launch = capturing_launch
+    coordinator.repair(report.failed_chunks)
+    # Saturate a helper's uplink to provoke straggler handling.
+    hog_node = cluster.node(1)
+    hog = Flow("hog", mbs(200) * 60, (hog_node.uplink,), tag="hog")
+    cluster.sim.schedule(0.2, lambda: cluster.flows.start_flow(hog))
+    while not coordinator.done and cluster.sim.now < 5000:
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+    assert coordinator.done
+    # The plans list holds final (post-mutation) parent maps: re-tuning
+    # mutates RepairPlan in place, so verifying now covers redirected
+    # plans too.
+    verify_plans(plans, payloads)
+    # Metadata consistency after everything settled.
+    for stripe in store.stripes.values():
+        assert len(set(stripe.chunk_nodes)) == code.n

@@ -1,0 +1,107 @@
+"""Property-based tests: arbitrary valid plan topologies decode correctly.
+
+The central correctness claim of tunable repair is that *any* in-tree
+pairing of upload/download tasks — and any re-tuned mutation of it —
+computes the same linear combination (Eq. 1). These tests generate
+random tree shapes over random RS stripes and check byte equality.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ChunkId
+from repro.codes import LRCCode, RSCode
+from repro.repair import PlanSource, RepairPlan, execute_plan
+
+
+def random_tree(rng, nodes: list[int], destination: int) -> dict[int, int]:
+    """A uniformly random in-tree over ``nodes`` rooted at ``destination``."""
+    parent = {}
+    attached = [destination]
+    order = list(nodes)
+    rng.shuffle(order)
+    for node in order:
+        parent[node] = int(rng.choice(attached))
+        attached.append(node)
+    return parent
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_tree_plans_decode(seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(2, 9))
+    m = int(rng.integers(1, 4))
+    code = RSCode(k, m)
+    data = [rng.integers(0, 256, 32, dtype=np.uint8) for _ in range(k)]
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, k + m))
+    eq = code.repair_equation(failed)
+    sources = [
+        PlanSource(node_id=100 + idx, chunk_index=idx, coefficient=c)
+        for idx, c in sorted(eq.coefficients.items())
+    ]
+    nodes = [s.node_id for s in sources]
+    plan = RepairPlan(
+        chunk=ChunkId(0, failed),
+        destination=999,
+        sources=sources,
+        parent=random_tree(rng, nodes, 999),
+    )
+    chunk_data = {s.chunk_index: stripe[s.chunk_index] for s in sources}
+    assert np.array_equal(execute_plan(plan, chunk_data), stripe[failed])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_retune_sequences_decode(seed):
+    """Any sequence of redirect mutations keeps the plan correct."""
+    rng = np.random.default_rng(seed)
+    code = RSCode(6, 3)
+    data = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(6)]
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, 9))
+    eq = code.repair_equation(failed)
+    sources = [
+        PlanSource(node_id=100 + idx, chunk_index=idx, coefficient=c)
+        for idx, c in sorted(eq.coefficients.items())
+    ]
+    nodes = [s.node_id for s in sources]
+    plan = RepairPlan(
+        chunk=ChunkId(0, failed),
+        destination=999,
+        sources=sources,
+        parent=random_tree(rng, nodes, 999),
+    )
+    chunk_data = {s.chunk_index: stripe[s.chunk_index] for s in sources}
+    for _ in range(int(rng.integers(1, 5))):
+        movable = [n for n in nodes if plan.parent[n] != 999]
+        if not movable:
+            break
+        plan.redirect_to_destination(int(rng.choice(movable)))
+        assert np.array_equal(execute_plan(plan, chunk_data), stripe[failed])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_lrc_local_repairs_over_random_trees(seed):
+    rng = np.random.default_rng(seed)
+    code = LRCCode(8, 2, 2)
+    data = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(8)]
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, 8))  # a data chunk -> local repair
+    eq = code.repair_equation(failed)
+    sources = [
+        PlanSource(node_id=50 + idx, chunk_index=idx, coefficient=c)
+        for idx, c in sorted(eq.coefficients.items())
+    ]
+    assert len(sources) == code.group_size
+    plan = RepairPlan(
+        chunk=ChunkId(0, failed),
+        destination=999,
+        sources=sources,
+        parent=random_tree(rng, [s.node_id for s in sources], 999),
+    )
+    chunk_data = {s.chunk_index: stripe[s.chunk_index] for s in sources}
+    assert np.array_equal(execute_plan(plan, chunk_data), stripe[failed])

@@ -1,0 +1,193 @@
+"""Tests for repair plans, structures, and data-plane execution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ChunkId
+from repro.codes import LRCCode, RSCode
+from repro.errors import PlanError
+from repro.repair import (
+    PlanSource,
+    RepairPlan,
+    binomial_parents,
+    chain_parents,
+    execute_plan,
+    star_parents,
+)
+
+
+def rs_plan(k=4, m=2, parent_builder=star_parents, failed=0, seed=0):
+    """Build a plan + stripe data for an RS(k, m) repair of chunk ``failed``."""
+    rng = np.random.default_rng(seed)
+    code = RSCode(k, m)
+    data = [rng.integers(0, 256, size=64, dtype=np.uint8) for _ in range(k)]
+    stripe = code.encode(data)
+    survivors = {i: 100 + i for i in range(k + m) if i != failed}
+    eq = code.repair_equation(failed, set(survivors))
+    sources = [
+        PlanSource(node_id=survivors[i], chunk_index=i, coefficient=c)
+        for i, c in sorted(eq.coefficients.items())
+    ]
+    nodes = [s.node_id for s in sources]
+    plan = RepairPlan(
+        chunk=ChunkId(0, failed),
+        destination=999,
+        sources=sources,
+        parent=parent_builder(nodes, 999),
+    )
+    chunk_data = {s.chunk_index: stripe[s.chunk_index] for s in sources}
+    return plan, chunk_data, stripe[failed]
+
+
+class TestStructures:
+    def test_star(self):
+        p = star_parents([1, 2, 3], 9)
+        assert p == {1: 9, 2: 9, 3: 9}
+
+    def test_chain(self):
+        p = chain_parents([1, 2, 3], 9)
+        assert p == {1: 2, 2: 3, 3: 9}
+
+    def test_binomial_matches_paper_figure(self):
+        # Fig. 3(b): N1->N2, N3->N4, N2->N4, N4->Nd.
+        p = binomial_parents([1, 2, 3, 4], 9)
+        assert p == {1: 2, 3: 4, 2: 4, 4: 9}
+
+    def test_binomial_odd_count(self):
+        p = binomial_parents([1, 2, 3], 9)
+        # 1->2, 3 survives; 2->3; 3->dest.
+        assert p == {1: 2, 2: 3, 3: 9}
+
+    def test_binomial_single_source(self):
+        assert binomial_parents([7], 9) == {7: 9}
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 8, 10])
+    def test_binomial_depth_logarithmic(self, k):
+        import math
+
+        nodes = list(range(1, k + 1))
+        plan_parents = binomial_parents(nodes, 0)
+        # Longest chain to destination.
+        depth = 0
+        for n in nodes:
+            d, cur = 1, n
+            while plan_parents[cur] != 0:
+                cur = plan_parents[cur]
+                d += 1
+            depth = max(depth, d)
+        assert depth <= math.ceil(math.log2(k + 1)) + 1
+
+
+class TestPlanValidation:
+    def test_default_structure_is_star(self):
+        plan, _, _ = rs_plan()
+        plan2 = RepairPlan(
+            chunk=plan.chunk, destination=plan.destination, sources=plan.sources
+        )
+        assert all(v == plan.destination for v in plan2.parent.values())
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(PlanError):
+            RepairPlan(chunk=ChunkId(0, 0), destination=9, sources=[])
+
+    def test_duplicate_source_node_rejected(self):
+        sources = [PlanSource(1, 0, 1), PlanSource(1, 2, 1)]
+        with pytest.raises(PlanError):
+            RepairPlan(chunk=ChunkId(0, 1), destination=9, sources=sources)
+
+    def test_destination_among_sources_rejected(self):
+        with pytest.raises(PlanError):
+            RepairPlan(
+                chunk=ChunkId(0, 0),
+                destination=1,
+                sources=[PlanSource(1, 1, 1)],
+            )
+
+    def test_cycle_rejected(self):
+        sources = [PlanSource(1, 1, 1), PlanSource(2, 2, 1)]
+        with pytest.raises(PlanError):
+            RepairPlan(
+                chunk=ChunkId(0, 0),
+                destination=9,
+                sources=sources,
+                parent={1: 2, 2: 1},
+            )
+
+    def test_unreached_destination_rejected(self):
+        sources = [PlanSource(1, 1, 1)]
+        with pytest.raises(PlanError):
+            RepairPlan(
+                chunk=ChunkId(0, 0), destination=9, sources=sources, parent={1: 1}
+            )
+
+    def test_edge_to_foreign_node_rejected(self):
+        sources = [PlanSource(1, 1, 1)]
+        with pytest.raises(PlanError):
+            RepairPlan(
+                chunk=ChunkId(0, 0), destination=9, sources=sources, parent={1: 5}
+            )
+
+    def test_relays_and_counts(self):
+        plan, _, _ = rs_plan(parent_builder=chain_parents)
+        relays = plan.relays()
+        assert len(relays) == 3  # chain of 4: middle three download
+        counts = plan.download_counts()
+        assert counts[plan.destination] == 1
+        assert plan.transmission_rounds() == 4
+
+    def test_star_has_no_relays(self):
+        plan, _, _ = rs_plan(parent_builder=star_parents)
+        assert plan.relays() == []
+        assert plan.transmission_rounds() == 1
+
+
+class TestExecution:
+    @pytest.mark.parametrize("builder", [star_parents, chain_parents, binomial_parents])
+    @pytest.mark.parametrize("failed", [0, 3, 4, 5])
+    def test_all_structures_decode(self, builder, failed):
+        plan, chunk_data, expected = rs_plan(parent_builder=builder, failed=failed)
+        repaired = execute_plan(plan, chunk_data)
+        assert np.array_equal(repaired, expected)
+
+    def test_lrc_local_plan_decodes(self):
+        rng = np.random.default_rng(4)
+        code = LRCCode(4, 2, 2)
+        data = [rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(4)]
+        stripe = code.encode(data)
+        eq = code.repair_equation(0)
+        sources = [
+            PlanSource(node_id=10 + i, chunk_index=i, coefficient=c)
+            for i, c in sorted(eq.coefficients.items())
+        ]
+        plan = RepairPlan(chunk=ChunkId(0, 0), destination=99, sources=sources)
+        repaired = execute_plan(plan, {s.chunk_index: stripe[s.chunk_index] for s in sources})
+        assert np.array_equal(repaired, stripe[0])
+
+    def test_missing_data_raises(self):
+        plan, chunk_data, _ = rs_plan()
+        chunk_data.pop(plan.sources[0].chunk_index)
+        with pytest.raises(PlanError):
+            execute_plan(plan, chunk_data)
+
+    def test_retuned_plan_still_decodes(self):
+        # Re-tuning (redirect a relay input to the destination) must not
+        # change the decoded bytes — the linearity argument of Sec III-C.
+        plan, chunk_data, expected = rs_plan(parent_builder=chain_parents)
+        first = plan.sources[0].node_id
+        assert plan.parent[first] != plan.destination
+        plan.redirect_to_destination(first)
+        repaired = execute_plan(plan, chunk_data)
+        assert np.array_equal(repaired, expected)
+
+    def test_every_possible_retune_decodes(self):
+        plan, chunk_data, expected = rs_plan(parent_builder=binomial_parents)
+        for source in plan.sources:
+            if plan.parent[source.node_id] == plan.destination:
+                continue
+            plan.redirect_to_destination(source.node_id)
+            assert np.array_equal(execute_plan(plan, chunk_data), expected)
+
+    def test_redirect_unknown_node_raises(self):
+        plan, _, _ = rs_plan()
+        with pytest.raises(PlanError):
+            plan.redirect_to_destination(12345)

@@ -1,0 +1,91 @@
+"""Unit tests for the RepairBoost traffic balancer."""
+
+import pytest
+from collections import Counter
+
+from repro.cluster import Cluster, FailureInjector, MB, place_stripes
+from repro.codes import LRCCode, RSCode
+from repro.repair import ConventionalRepair, ECPipe, PPR, RepairBoost
+
+
+def make_env(code=None, num_nodes=14, num_stripes=30, seed=0):
+    code = code if code is not None else RSCode(4, 2)
+    cluster = Cluster(num_nodes=num_nodes, num_clients=0)
+    store = place_stripes(code, num_stripes, cluster.storage_ids, chunk_size=4 * MB, seed=seed)
+    injector = FailureInjector(cluster, store)
+    return cluster, store, injector
+
+
+class TestSelection:
+    def test_sources_balanced_across_chunks(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        rb = RepairBoost(ConventionalRepair(), seed=1)
+        uploads = Counter()
+        for chunk in report.failed_chunks:
+            plan = rb.make_plan(chunk, store.code, injector)
+            store.relocate(chunk, plan.destination)
+            for uploader, _ in plan.edges():
+                uploads[uploader] += 1
+        # Balanced up to placement skew: stripe membership constrains the
+        # candidate pool per chunk, so perfect balance is impossible, but
+        # no node should hoard uploads.
+        total = sum(uploads.values())
+        assert max(uploads.values()) <= 2.5 * total / len(uploads)
+
+    def test_inner_structure_preserved(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        for inner_cls, checker in (
+            (ConventionalRepair, lambda p: p.relays() == []),
+            (ECPipe, lambda p: len(p.relays()) == len(p.sources) - 1),
+        ):
+            rb = RepairBoost(inner_cls(), seed=2)
+            plan = rb.make_plan(chunk, store.code, injector)
+            assert checker(plan)
+
+    def test_ppr_structure_depth(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        rb = RepairBoost(PPR(), seed=3)
+        plan = rb.make_plan(chunk, store.code, injector)
+        import math
+
+        assert plan.transmission_rounds() <= math.ceil(math.log2(len(plan.sources))) + 1
+
+    def test_lrc_local_repair_respected(self):
+        code = LRCCode(4, 2, 2)
+        cluster, store, injector = make_env(code=code)
+        report = injector.fail_nodes([0])
+        data_chunks = [c for c in report.failed_chunks if c.index < code.k]
+        if not data_chunks:
+            pytest.skip("no data chunk on node 0")
+        rb = RepairBoost(ConventionalRepair(), seed=4)
+        plan = rb.make_plan(data_chunks[0], code, injector)
+        assert len(plan.sources) == code.group_size
+
+    def test_load_counters_grow(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        rb = RepairBoost(ConventionalRepair(), seed=5)
+        for chunk in report.failed_chunks[:4]:
+            plan = rb.make_plan(chunk, store.code, injector)
+            store.relocate(chunk, plan.destination)
+        assert sum(rb.upload_load.values()) == 4 * store.code.k
+        assert sum(rb.download_load.values()) == 4 * store.code.k
+
+    def test_no_survivors_raises(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+
+        class Empty:
+            def surviving_sources(self, _):
+                return {}
+
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            RepairBoost(ConventionalRepair()).make_plan(chunk, store.code, Empty())

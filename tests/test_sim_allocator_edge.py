@@ -1,0 +1,92 @@
+"""Edge-case tests for the max-min allocator and flow scheduler."""
+
+import pytest
+
+from repro.sim import Flow, FlowScheduler, Resource, Simulator, allocate_rates
+
+
+class TestAllocatorEdgeCases:
+    def test_many_flows_one_resource(self):
+        r = Resource("r", 100.0)
+        flows = [Flow(f"f{i}", 10, (r,)) for i in range(100)]
+        allocate_rates(flows)
+        assert all(f.rate == pytest.approx(1.0) for f in flows)
+        assert sum(f.rate for f in flows) == pytest.approx(100.0)
+
+    def test_shared_and_dedicated_mix(self):
+        shared = Resource("s", 90.0)
+        dedicated = Resource("d", 10.0)
+        slow = Flow("slow", 10, (shared, dedicated))
+        fast_flows = [Flow(f"fast{i}", 10, (shared,)) for i in range(2)]
+        allocate_rates([slow] + fast_flows)
+        assert slow.rate == pytest.approx(10.0)
+        # Leftover 80 split between the two unconstrained flows.
+        assert all(f.rate == pytest.approx(40.0) for f in fast_flows)
+
+    def test_disjoint_resources_independent(self):
+        a, b = Resource("a", 30.0), Resource("b", 70.0)
+        fa, fb = Flow("fa", 10, (a,)), Flow("fb", 10, (b,))
+        allocate_rates([fa, fb])
+        assert fa.rate == pytest.approx(30.0)
+        assert fb.rate == pytest.approx(70.0)
+
+    def test_tiny_capacity(self):
+        r = Resource("r", 1e-6)
+        f = Flow("f", 1.0, (r,))
+        allocate_rates([f])
+        assert f.rate == pytest.approx(1e-6)
+
+    def test_idempotent_reallocation(self):
+        r = Resource("r", 50.0)
+        flows = [Flow(f"f{i}", 10, (r,)) for i in range(3)]
+        allocate_rates(flows)
+        first = [f.rate for f in flows]
+        allocate_rates(flows)
+        assert [f.rate for f in flows] == first
+
+
+class TestSchedulerEdgeCases:
+    def test_simultaneous_completions(self):
+        sim = Simulator()
+        sched = FlowScheduler(sim)
+        r = Resource("r", 100.0)
+        flows = [Flow(f"f{i}", 100, (r,)) for i in range(4)]
+        for f in flows:
+            sched.start_flow(f)
+        sim.run()
+        assert all(f.done for f in flows)
+        assert all(f.completed_at == pytest.approx(4.0) for f in flows)
+
+    def test_cancel_already_completed_is_noop(self):
+        sim = Simulator()
+        sched = FlowScheduler(sim)
+        f = Flow("f", 10, (Resource("r", 100.0),))
+        sched.start_flow(f)
+        sim.run()
+        sched.cancel_flow(f)  # must not raise or un-complete
+        assert f.done
+
+    def test_cancel_before_start(self):
+        sim = Simulator()
+        sched = FlowScheduler(sim)
+        f = Flow("f", 10, (Resource("r", 100.0),))
+        sched.cancel_flow(f)
+        assert f.cancelled and not f.done
+
+    def test_interleaved_start_cancel_burst(self):
+        sim = Simulator()
+        sched = FlowScheduler(sim)
+        r = Resource("r", 100.0)
+        keep = Flow("keep", 200, (r,))
+        drop = Flow("drop", 200, (r,))
+        sched.start_flow(keep)
+        sched.start_flow(drop)
+        sched.cancel_flow(drop)  # same timestamp as the starts
+        sim.run()
+        assert keep.completed_at == pytest.approx(2.0)
+
+    def test_settle_now_safe_when_idle(self):
+        sim = Simulator()
+        sched = FlowScheduler(sim)
+        sched.settle_now()  # no flows, no time passed
+        assert sched.active == set()

@@ -1,0 +1,108 @@
+"""Unit tests for the event queue and simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, order.append, "a")
+        q.push(1.0, order.append, "b")
+        while q:
+            e = q.pop()
+            e.callback(*e.args)
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q.pop().time == 1.0
+
+    def test_cancel_skipped(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        e.cancel()
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        end = sim.run(until=4.0)
+        assert end == 4.0
+        assert sim.pending_events() == 1
+
+    def test_run_until_with_empty_queue_advances(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_call_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(2.0, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_event_cancellation(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(1))
+        event.cancel()
+        sim.run()
+        assert seen == []

@@ -1,0 +1,163 @@
+"""Tests for max-min fair allocation and fluid flow completion."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Flow, FlowScheduler, Resource, Simulator, allocate_rates
+
+
+def make_env():
+    sim = Simulator()
+    return sim, FlowScheduler(sim)
+
+
+class TestAllocator:
+    def test_single_flow_gets_capacity(self):
+        r = Resource("up", 100.0)
+        f = Flow("f", 1000, (r,))
+        allocate_rates([f])
+        assert f.rate == pytest.approx(100.0)
+
+    def test_equal_sharing(self):
+        r = Resource("up", 100.0)
+        flows = [Flow(f"f{i}", 1000, (r,)) for i in range(4)]
+        allocate_rates(flows)
+        assert all(f.rate == pytest.approx(25.0) for f in flows)
+
+    def test_bottleneck_identification(self):
+        # Two flows share a 100 B/s uplink; one also crosses a 30 B/s
+        # downlink. Max-min: constrained flow gets 30, the other 70.
+        up = Resource("up", 100.0)
+        down = Resource("down", 30.0)
+        constrained = Flow("slow", 1000, (up, down))
+        free = Flow("fast", 1000, (up,))
+        allocate_rates([constrained, free])
+        assert constrained.rate == pytest.approx(30.0)
+        assert free.rate == pytest.approx(70.0)
+
+    def test_multi_resource_chain(self):
+        # Flow limited by the tightest resource on its path.
+        a, b, c = Resource("a", 100), Resource("b", 10), Resource("c", 50)
+        f = Flow("f", 100, (a, b, c))
+        allocate_rates([f])
+        assert f.rate == pytest.approx(10.0)
+
+    def test_empty_input_ok(self):
+        allocate_rates([])
+
+    def test_no_resource_flow_unbounded(self):
+        f = Flow("f", 10, ())
+        allocate_rates([f])
+        assert f.rate == float("inf")
+
+
+class TestFlowScheduler:
+    def test_flow_completes_at_expected_time(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f = Flow("f", 1000, (r,))
+        sched.start_flow(f)
+        sim.run()
+        assert f.done
+        assert f.completed_at == pytest.approx(10.0)
+
+    def test_two_flows_share_then_speed_up(self):
+        # Two equal flows on one link: first halves finish together at
+        # t=10 (50 B/s each); after one completes, nothing remains.
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f1 = Flow("f1", 500, (r,))
+        f2 = Flow("f2", 1000, (r,))
+        sched.start_flow(f1)
+        sched.start_flow(f2)
+        sim.run()
+        assert f1.completed_at == pytest.approx(10.0)
+        # f2: 500B by t=10 at 50 B/s, remaining 500B at 100 B/s -> t=15.
+        assert f2.completed_at == pytest.approx(15.0)
+
+    def test_late_arrival_shares_fairly(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f1 = Flow("f1", 1000, (r,))
+        sched.start_flow(f1)
+        f2 = Flow("f2", 400, (r,))
+        sim.schedule(5.0, lambda: sched.start_flow(f2))
+        sim.run()
+        # f1 alone 0-5s: 500B. Shared 50/50 until f2 done at 5+8=13s
+        # (f2: 400B at 50B/s). f1 then has 100B left at 100B/s -> 14s.
+        assert f2.completed_at == pytest.approx(13.0)
+        assert f1.completed_at == pytest.approx(14.0)
+
+    def test_cancel_flow_releases_bandwidth(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f1 = Flow("f1", 1000, (r,))
+        f2 = Flow("f2", 1000, (r,))
+        sched.start_flow(f1)
+        sched.start_flow(f2)
+        sim.schedule(5.0, lambda: sched.cancel_flow(f2))
+        sim.run()
+        # f1: 250B by t=5, then full rate: (1000-250)/100 = 7.5 -> 12.5s.
+        assert f1.completed_at == pytest.approx(12.5)
+        assert f2.cancelled and not f2.done
+
+    def test_zero_size_flow_completes_immediately(self):
+        sim, sched = make_env()
+        f = Flow("f", 0, (Resource("r", 10),))
+        done = []
+        f.on_complete.append(lambda fl: done.append(sim.now))
+        sched.start_flow(f)
+        sim.run()
+        assert done == [0.0]
+
+    def test_byte_accounting_by_tag(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        sched.start_flow(Flow("rep", 300, (r,), tag="repair"))
+        sched.start_flow(Flow("fg", 200, (r,), tag="foreground"))
+        sim.run()
+        assert r.bytes_for("repair") == pytest.approx(300.0)
+        assert r.bytes_for("foreground") == pytest.approx(200.0)
+        assert r.total_bytes == pytest.approx(500.0)
+
+    def test_capacity_change_rebalances(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f = Flow("f", 1000, (r,))
+        sched.start_flow(f)
+
+        def throttle():
+            r.set_capacity(50.0)
+            sched.capacity_changed()
+
+        sim.schedule(5.0, throttle)
+        sim.run()
+        # 500B in 5s, remaining 500B at 50B/s -> 15s total.
+        assert f.completed_at == pytest.approx(15.0)
+
+    def test_completion_callback_starts_next_flow(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f1 = Flow("f1", 500, (r,))
+        f2 = Flow("f2", 500, (r,))
+        f1.on_complete.append(lambda _: sched.start_flow(f2))
+        sched.start_flow(f1)
+        sim.run()
+        assert f2.completed_at == pytest.approx(10.0)
+
+    def test_restart_finished_flow_raises(self):
+        sim, sched = make_env()
+        r = Resource("link", 100.0)
+        f = Flow("f", 100, (r,))
+        sched.start_flow(f)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sched.start_flow(f)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Flow("bad", -5, ())
+
+    def test_resource_validation(self):
+        with pytest.raises(SimulationError):
+            Resource("bad", 0)

@@ -1,0 +1,105 @@
+"""Tests for proportional slice gating across unequal transfer sizes."""
+
+import pytest
+
+from repro.cluster import Cluster, FailureInjector, MB, mbs, place_stripes
+from repro.codes import RSCode
+from repro.sim import FlowScheduler, Resource, Simulator, Transfer, TransferManager
+
+
+def make_env():
+    sim = Simulator()
+    sched = FlowScheduler(sim)
+    return sim, sched, TransferManager(sched)
+
+
+class TestProportionalGating:
+    def test_short_dependent_waits_for_whole_dependency(self):
+        # dep: 1000B in 10 slices at 100 B/s (10 s). out: 200B in 2
+        # slices on a fast link. out's final slice must wait for ALL of
+        # dep (a combiner cannot emit its last bytes early).
+        sim, sched, mgr = make_env()
+        dep = Transfer("dep", (Resource("a", 100.0),), 1000, 100)
+        out = Transfer("out", (Resource("b", 10000.0),), 200, 100)
+        out.depends_on(dep)
+        mgr.start(dep)
+        mgr.start(out)
+        sim.run()
+        assert dep.completed_at == pytest.approx(10.0)
+        assert out.completed_at >= dep.completed_at
+
+    def test_long_dependent_tracks_fractions(self):
+        # out has 10 slices, dep has 2: out's slice 4 (fraction 0.5)
+        # needs dep slice 1; out's slice 5 (0.6) needs both dep slices.
+        sim, sched, mgr = make_env()
+        dep = Transfer("dep", (Resource("a", 100.0),), 200, 100)  # done at 2s
+        out = Transfer("out", (Resource("b", 1000.0),), 1000, 100)
+        out.depends_on(dep)
+        mgr.start(dep)
+        mgr.start(out)
+        sim.run(until=1.5)
+        # Half of dep delivered (slice 1 of 2): out may have at most
+        # half its slices done.
+        assert out.completed_slices <= 5
+        sim.run()
+        assert out.done
+        assert out.completed_at >= dep.completed_at
+
+    def test_equal_sizes_pipeline_tightly(self):
+        sim, sched, mgr = make_env()
+        dep = Transfer("dep", (Resource("a", 100.0),), 1000, 100)
+        out = Transfer("out", (Resource("b", 100.0),), 1000, 100)
+        out.depends_on(dep)
+        mgr.start(dep)
+        mgr.start(out)
+        sim.run()
+        # Classic (S+1)/S pipelining, not 2x serialisation.
+        assert out.completed_at == pytest.approx(11.0)
+
+
+class TestRetuneWithoutFinalWrite:
+    def test_degraded_read_style_retune(self):
+        code = RSCode(4, 2)
+        cluster = Cluster(num_nodes=10, num_clients=1, link_bw=mbs(100))
+        store = place_stripes(code, 10, cluster.storage_ids, chunk_size=8 * MB, seed=2)
+        injector = FailureInjector(cluster, store)
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        from repro.repair import ECPipe, PlanInstance
+
+        plan = ECPipe(seed=3).make_plan(chunk, code, injector)
+        instance = PlanInstance(
+            cluster, plan, chunk_size=8 * MB, slice_size=2 * MB, final_write=False
+        )
+        instance.start()
+        cluster.sim.run(until=0.01)
+        uploader = next(u for u, v in plan.edges() if v != plan.destination)
+        replacement = instance.retune(instance.uploads[uploader])
+        cluster.sim.run()
+        assert instance.done
+        assert replacement.done
+        assert plan.parent[uploader] == plan.destination
+
+    def test_retune_replacement_smaller_when_partially_done(self):
+        code = RSCode(4, 2)
+        cluster = Cluster(num_nodes=10, num_clients=0, link_bw=mbs(100))
+        store = place_stripes(code, 10, cluster.storage_ids, chunk_size=8 * MB, seed=4)
+        injector = FailureInjector(cluster, store)
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        from repro.repair import ECPipe, PlanInstance
+
+        plan = ECPipe(seed=5).make_plan(chunk, code, injector)
+        instance = PlanInstance(
+            cluster, plan, chunk_size=8 * MB, slice_size=1 * MB
+        )
+        instance.start()
+        cluster.sim.run(until=0.03)  # let some slices through
+        uploader = next(u for u, v in plan.edges() if v != plan.destination)
+        old = instance.uploads[uploader]
+        done_bytes = old.bytes_completed
+        replacement = instance.retune(old)
+        if done_bytes > 0:
+            assert replacement.size < old.size
+        cluster.sim.run()
+        assert instance.done

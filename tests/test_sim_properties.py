@@ -1,0 +1,141 @@
+"""Property-based tests of the simulator core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Flow,
+    FlowScheduler,
+    Resource,
+    Simulator,
+    Transfer,
+    TransferManager,
+    allocate_rates,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_allocation_is_feasible_and_work_conserving(seed):
+    """Max-min allocation never overloads a resource, and every flow is
+    limited by at least one saturated resource (work conservation)."""
+    rng = np.random.default_rng(seed)
+    resources = [Resource(f"r{i}", float(rng.integers(10, 1000))) for i in range(6)]
+    flows = []
+    for i in range(int(rng.integers(1, 12))):
+        count = int(rng.integers(1, 4))
+        chosen = rng.choice(len(resources), size=count, replace=False)
+        flows.append(Flow(f"f{i}", 1000, tuple(resources[j] for j in chosen)))
+    allocate_rates(flows)
+
+    usage = {r.name: 0.0 for r in resources}
+    for flow in flows:
+        assert flow.rate >= 0
+        for res in flow.resources:
+            usage[res.name] += flow.rate
+    for res in resources:
+        assert usage[res.name] <= res.capacity * (1 + 1e-9)
+    # Work conservation: each flow crosses a resource that is (nearly)
+    # fully used, otherwise its rate could be raised.
+    for flow in flows:
+        assert any(
+            usage[res.name] >= res.capacity * (1 - 1e-6) for res in flow.resources
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_allocation_max_min_fairness(seed):
+    """No flow can gain rate without hurting an equal-or-poorer flow:
+    equivalently, two flows sharing a bottleneck get equal rates unless
+    one is constrained elsewhere at a lower rate."""
+    rng = np.random.default_rng(seed)
+    resources = [Resource(f"r{i}", float(rng.integers(50, 500))) for i in range(4)]
+    flows = []
+    for i in range(int(rng.integers(2, 8))):
+        count = int(rng.integers(1, 3))
+        chosen = rng.choice(len(resources), size=count, replace=False)
+        flows.append(Flow(f"f{i}", 1000, tuple(resources[j] for j in chosen)))
+    allocate_rates(flows)
+    usage = {r.name: sum(f.rate for f in flows if r in f.resources) for r in resources}
+    for res in resources:
+        sharers = [f for f in flows if res in f.resources]
+        if not sharers or usage[res.name] < res.capacity * (1 - 1e-6):
+            continue
+        top = max(f.rate for f in sharers)
+        for flow in sharers:
+            if flow.rate < top - 1e-9:
+                # The poorer flow must itself be bottlenecked elsewhere.
+                assert any(
+                    usage[r.name] >= r.capacity * (1 - 1e-6)
+                    and flow.rate
+                    <= max(x.rate for x in flows if r in x.resources) - 1e-12
+                    or usage[r.name] >= r.capacity * (1 - 1e-6)
+                    for r in flow.resources
+                    if r is not res
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_bytes_conserved_through_completion(seed):
+    """Every completed flow accounts exactly its size on every resource."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    sched = FlowScheduler(sim)
+    resources = [Resource(f"r{i}", float(rng.integers(50, 200))) for i in range(3)]
+    flows = []
+    for i in range(int(rng.integers(1, 8))):
+        res = resources[int(rng.integers(0, 3))]
+        size = float(rng.integers(1, 500))
+        flow = Flow(f"f{i}", size, (res,), tag=f"tag{i % 2}")
+        flows.append(flow)
+        delay = float(rng.uniform(0, 3))
+        sim.schedule(delay, lambda f=flow: sched.start_flow(f))
+    sim.run()
+    assert all(f.done for f in flows)
+    for res in resources:
+        expected = sum(f.size for f in flows if res in f.resources)
+        assert res.total_bytes == pytest.approx(expected, rel=1e-6, abs=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_transfer_chains_complete_in_dependency_order(seed):
+    """Random transfer DAGs always finish, respecting dependencies."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    sched = FlowScheduler(sim)
+    mgr = TransferManager(sched)
+    n = int(rng.integers(2, 8))
+    transfers = []
+    for i in range(n):
+        res = Resource(f"r{i}", float(rng.integers(50, 200)))
+        t = Transfer(f"t{i}", (res,), float(rng.integers(100, 400)), 50.0)
+        # Depend on a random subset of earlier transfers (keeps it a DAG).
+        for j in range(i):
+            if rng.random() < 0.3:
+                t.depends_on(transfers[j])
+        transfers.append(t)
+    for t in transfers:
+        mgr.start(t)
+    sim.run()
+    for t in transfers:
+        assert t.done
+        for dep in t.deps:
+            assert dep.completed_at <= t.completed_at + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=2000),
+)
+def test_transfer_slicing_exact(num_slices_hint, size):
+    """Slice sizes always sum to the transfer size."""
+    slice_size = max(1, size // num_slices_hint)
+    t = Transfer("t", (), float(size), float(slice_size))
+    assert sum(t.slice_sizes) == pytest.approx(float(size))
+    assert t.num_slices >= 1

@@ -1,0 +1,150 @@
+"""Tests for sliced transfers and pipeline dependencies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FlowScheduler, Resource, Simulator, Transfer, TransferManager
+
+
+def make_env():
+    sim = Simulator()
+    sched = FlowScheduler(sim)
+    return sim, sched, TransferManager(sched)
+
+
+class TestBasics:
+    def test_slicing(self):
+        t = Transfer("t", (), 100, 30)
+        assert t.num_slices == 4
+        assert sum(t.slice_sizes) == pytest.approx(100)
+
+    def test_single_transfer_duration(self):
+        sim, sched, mgr = make_env()
+        r = Resource("link", 100.0)
+        t = Transfer("t", (r,), 1000, 100)
+        mgr.start(t)
+        sim.run()
+        assert t.done
+        assert t.completed_at == pytest.approx(10.0)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(SimulationError):
+            Transfer("t", (), 0, 10)
+        with pytest.raises(SimulationError):
+            Transfer("t", (), 10, 0)
+
+    def test_self_dependency_rejected(self):
+        t = Transfer("t", (), 10, 10)
+        with pytest.raises(SimulationError):
+            t.depends_on(t)
+
+    def test_bytes_completed_progress(self):
+        sim, sched, mgr = make_env()
+        r = Resource("link", 100.0)
+        t = Transfer("t", (r,), 1000, 250)
+        mgr.start(t)
+        sim.run(until=5.1)
+        assert t.bytes_completed == pytest.approx(500.0)
+
+
+class TestPipelining:
+    def test_chain_pipelines_slices(self):
+        # Two-hop chain over independent links: with S slices the chain
+        # takes (S + 1)/S of the single-hop time, not 2x (ECPipe's O(1)).
+        sim, sched, mgr = make_env()
+        up1, down2 = Resource("up1", 100.0), Resource("down2", 100.0)
+        up2, down3 = Resource("up2", 100.0), Resource("down3", 100.0)
+        hop1 = Transfer("hop1", (up1, down2), 1000, 100)
+        hop2 = Transfer("hop2", (up2, down3), 1000, 100)
+        hop2.depends_on(hop1)
+        mgr.start(hop1)
+        mgr.start(hop2)
+        sim.run()
+        assert hop1.completed_at == pytest.approx(10.0)
+        assert hop2.completed_at == pytest.approx(11.0)
+
+    def test_unsliced_chain_serialises(self):
+        sim, sched, mgr = make_env()
+        hop1 = Transfer("hop1", (Resource("a", 100.0),), 1000, 1000)
+        hop2 = Transfer("hop2", (Resource("b", 100.0),), 1000, 1000)
+        hop2.depends_on(hop1)
+        mgr.start(hop1)
+        mgr.start(hop2)
+        sim.run()
+        assert hop2.completed_at == pytest.approx(20.0)
+
+    def test_combine_waits_for_all_inputs(self):
+        # A relay output slice waits on the same slice of every input.
+        sim, sched, mgr = make_env()
+        fast = Transfer("fast", (Resource("f", 200.0),), 1000, 100)
+        slow = Transfer("slow", (Resource("s", 50.0),), 1000, 100)
+        out = Transfer("out", (Resource("o", 1000.0),), 1000, 100)
+        out.depends_on(fast)
+        out.depends_on(slow)
+        for t in (fast, slow, out):
+            mgr.start(t)
+        sim.run()
+        # Slow input finishes at 20s; output's last slice needs it.
+        assert out.completed_at == pytest.approx(20.0 + 0.1, rel=0.05)
+
+    def test_dependent_released_late_catches_up(self):
+        sim, sched, mgr = make_env()
+        hop1 = Transfer("hop1", (Resource("a", 100.0),), 1000, 100)
+        hop2 = Transfer("hop2", (Resource("b", 100.0),), 1000, 100)
+        hop2.depends_on(hop1)
+        mgr.start(hop1)
+        sim.schedule(15.0, lambda: mgr.start(hop2))
+        sim.run()
+        # hop1 fully done by t=10; hop2 runs unthrottled from 15 to 25.
+        assert hop2.completed_at == pytest.approx(25.0)
+
+
+class TestControl:
+    def test_pause_and_resume(self):
+        sim, sched, mgr = make_env()
+        r = Resource("link", 100.0)
+        t = Transfer("t", (r,), 1000, 100)
+        mgr.start(t)
+        sim.schedule(3.05, lambda: mgr.pause(t))
+        sim.schedule(10.0, lambda: mgr.resume(t))
+        sim.run()
+        # ~4 slices by pause (in-flight finishes), 6 remaining after 10s.
+        assert t.completed_at == pytest.approx(16.0, abs=0.2)
+
+    def test_cancel_stops_and_unblocks_dependents(self):
+        sim, sched, mgr = make_env()
+        hop1 = Transfer("hop1", (Resource("a", 10.0),), 1000, 100)
+        hop2 = Transfer("hop2", (Resource("b", 100.0),), 1000, 100)
+        hop2.depends_on(hop1)
+        mgr.start(hop1)
+        mgr.start(hop2)
+        sim.schedule(5.0, lambda: mgr.cancel(hop1))
+        sim.run()
+        assert hop1.cancelled and not hop1.done
+        # hop2 free to run after cancel: finishes within ~10s of t=5.
+        assert hop2.done
+        assert hop2.completed_at == pytest.approx(15.0, abs=0.5)
+
+    def test_on_slice_callbacks(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 400, 100)
+        seen = []
+        t.on_slice.append(lambda tr, i: seen.append(i))
+        mgr.start(t)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_start_cancelled_raises(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 100, 100)
+        mgr.cancel(t)
+        with pytest.raises(SimulationError):
+            mgr.start(t)
+
+    def test_double_start_is_noop(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 100, 100)
+        mgr.start(t)
+        mgr.start(t)
+        sim.run()
+        assert t.done

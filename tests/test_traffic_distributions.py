@@ -1,0 +1,123 @@
+"""Unit tests for key/value-size distribution samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.traffic import (
+    FixedSize,
+    GEVSize,
+    LognormalSize,
+    LogUniformSize,
+    ParetoSize,
+    UniformSampler,
+    ZipfianSampler,
+)
+
+
+class TestZipfian:
+    def test_in_range(self):
+        sampler = ZipfianSampler(100, rng=np.random.default_rng(0))
+        for _ in range(1000):
+            assert 0 <= sampler.sample() < 100
+
+    def test_skew_first_items_dominant(self):
+        sampler = ZipfianSampler(1000, theta=0.99, rng=np.random.default_rng(1))
+        samples = [sampler.sample() for _ in range(5000)]
+        top_share = sum(1 for s in samples if s < 10) / len(samples)
+        # Zipf(0.99) concentrates a large share on the head.
+        assert top_share > 0.25
+
+    def test_more_skew_with_higher_theta(self):
+        low = ZipfianSampler(1000, theta=0.5, rng=np.random.default_rng(2))
+        high = ZipfianSampler(1000, theta=0.99, rng=np.random.default_rng(2))
+        share = lambda s: sum(1 for _ in range(3000) if s.sample() == 0) / 3000
+        assert share(high) > share(low)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            ZipfianSampler(0)
+        with pytest.raises(SimulationError):
+            ZipfianSampler(10, theta=1.5)
+
+    def test_single_item(self):
+        sampler = ZipfianSampler(1, rng=np.random.default_rng(3))
+        assert sampler.sample() == 0
+
+
+class TestUniform:
+    def test_covers_range(self):
+        sampler = UniformSampler(10, rng=np.random.default_rng(4))
+        seen = {sampler.sample() for _ in range(500)}
+        assert seen == set(range(10))
+
+
+class TestSizes:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        assert FixedSize(512).sample(rng) == 512
+        with pytest.raises(SimulationError):
+            FixedSize(0)
+
+    def test_log_uniform_bounds(self):
+        rng = np.random.default_rng(5)
+        sampler = LogUniformSize(16, 1e9)
+        for _ in range(200):
+            assert 16 <= sampler.sample(rng) <= 1e9
+
+    def test_log_uniform_spans_orders_of_magnitude(self):
+        rng = np.random.default_rng(6)
+        sampler = LogUniformSize(16, 1e9)
+        samples = [sampler.sample(rng) for _ in range(500)]
+        assert max(samples) / min(samples) > 1e4
+
+    def test_log_uniform_invalid(self):
+        with pytest.raises(SimulationError):
+            LogUniformSize(10, 5)
+
+    def test_lognormal_mean(self):
+        rng = np.random.default_rng(7)
+        sampler = LognormalSize(mean=20_000, sigma=1.2)
+        samples = [sampler.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(20_000, rel=0.15)
+
+    def test_lognormal_invalid(self):
+        with pytest.raises(SimulationError):
+            LognormalSize(mean=0)
+
+    def test_pareto_heavy_tail_and_cap(self):
+        rng = np.random.default_rng(8)
+        sampler = ParetoSize(scale=300, alpha=1.5, cap=1e6)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        assert min(samples) >= 300
+        assert max(samples) <= 1e6
+        # Heavy tail: the max dwarfs the median.
+        assert max(samples) > 10 * np.median(samples)
+
+    def test_pareto_invalid(self):
+        with pytest.raises(SimulationError):
+            ParetoSize(scale=1, alpha=1.0)
+
+    def test_gev_floor(self):
+        rng = np.random.default_rng(9)
+        sampler = GEVSize(mu=30, sigma=8, xi=0.25, floor=1.0)
+        assert all(sampler.sample(rng) >= 1.0 for _ in range(500))
+
+    def test_gev_invalid(self):
+        with pytest.raises(SimulationError):
+            GEVSize(mu=0, sigma=0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_all_sizes_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        for sampler in (
+            FixedSize(512),
+            LogUniformSize(16, 1e6),
+            LognormalSize(mean=100),
+            ParetoSize(scale=10, alpha=2.0),
+            GEVSize(mu=10, sigma=3),
+        ):
+            assert sampler.sample(rng) > 0

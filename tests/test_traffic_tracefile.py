@@ -1,0 +1,131 @@
+"""Tests for trace file recording and replay."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.traffic import ycsb_a
+from repro.traffic.traces import Request
+from repro.traffic.tracefile import FileTrace, load_trace, record_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_record_and_load(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = record_trace(ycsb_a(seed=1), 50, path)
+        assert written == 50
+        requests = load_trace(path)
+        assert len(requests) == 50
+        assert all(r.op in ("read", "update") for r in requests)
+        assert all(r.size == 512_000 for r in requests)
+
+    def test_save_preserves_exact_values(self, tmp_path):
+        path = tmp_path / "t.csv"
+        original = [
+            Request(op="read", key=7, size=1234.0),
+            Request(op="update", key=9, size=16.0),
+        ]
+        save_trace(original, path)
+        assert load_trace(path) == original
+
+    def test_record_invalid_count(self, tmp_path):
+        with pytest.raises(SimulationError):
+            record_trace(ycsb_a(), 0, tmp_path / "x.csv")
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SimulationError):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\nread,1,10\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_bad_op(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,key,size\ndelete,1,10\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_bad_numbers(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,key,size\nread,xyz,10\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_nonpositive_size(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,key,size\nread,1,0\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("op,key,size\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,key,size\nread,1\n")
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+
+class TestFileTrace:
+    def make_file(self, tmp_path, n=5):
+        path = tmp_path / "trace.csv"
+        record_trace(ycsb_a(seed=2), n, path)
+        return path
+
+    def test_replay_order_matches_file(self, tmp_path):
+        path = self.make_file(tmp_path)
+        expected = load_trace(path)
+        trace = FileTrace(path)
+        replayed = [trace.next_request() for _ in range(5)]
+        assert replayed == expected
+
+    def test_loops_by_default(self, tmp_path):
+        trace = FileTrace(self.make_file(tmp_path, n=3))
+        first = trace.next_request()
+        for _ in range(2):
+            trace.next_request()
+        assert trace.next_request() == first  # wrapped around
+
+    def test_no_loop_raises_when_exhausted(self, tmp_path):
+        trace = FileTrace(self.make_file(tmp_path, n=2), loop=False)
+        trace.next_request()
+        trace.next_request()
+        with pytest.raises(SimulationError):
+            trace.next_request()
+
+    def test_rewind(self, tmp_path):
+        trace = FileTrace(self.make_file(tmp_path, n=3))
+        first = trace.next_request()
+        trace.rewind()
+        assert trace.next_request() == first
+
+    def test_name_and_len(self, tmp_path):
+        trace = FileTrace(self.make_file(tmp_path, n=4))
+        assert trace.name == "file:trace.csv"
+        assert len(trace) == 4
+
+    def test_usable_by_trace_client(self, tmp_path):
+        from repro.cluster import Cluster, MB, mbs, place_stripes
+        from repro.codes import RSCode
+        from repro.traffic import KeyRouter, TraceClient
+
+        cluster = Cluster(num_nodes=8, num_clients=1, link_bw=mbs(200))
+        store = place_stripes(RSCode(4, 2), 10, cluster.storage_ids, chunk_size=MB, seed=1)
+        router = KeyRouter(store, cluster)
+        trace = FileTrace(self.make_file(tmp_path, n=10))
+        client = TraceClient(
+            cluster, cluster.clients[0], trace, router,
+            num_requests=10, slice_size=MB, think_time=0.0, concurrency=1,
+        )
+        client.start()
+        cluster.sim.run()
+        assert client.done
+        assert client.latency.count == 10
