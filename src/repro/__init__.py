@@ -68,6 +68,15 @@ from repro.metrics import (
     interference_degree,
 )
 from repro.monitor import BandwidthMonitor, ProgressTracker
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    build_report,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    write_chrome_trace,
+)
 from repro.repair import (
     ConventionalRepair,
     ECPipe,

@@ -27,6 +27,8 @@ from repro.errors import SchedulingError
 from repro.metrics.throughput import RepairThroughputMeter
 from repro.monitor.bandwidth import BandwidthMonitor
 from repro.monitor.progress import ProgressTracker, TrackedTask
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.repair.instance import PlanInstance
 from repro.core.dispatch import TaskDispatcher
 from repro.core.planner import build_plan
@@ -104,6 +106,8 @@ class ChameleonRepair:
         self.retunes = 0
         self.reorders = 0
         self.replans = 0
+        self._phase_span = None
+        self._phase_baseline = (0, 0, 0)
 
     # -- public API --------------------------------------------------------------
 
@@ -157,6 +161,12 @@ class ChameleonRepair:
         self.dispatcher.begin_phase()
         self._phase_admitted = 0
         self._phase_budget_exhausted = False
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._phase_span = tracer.span(
+                "phase", track="scheduler", index=self.phase_index
+            )
+            self._phase_baseline = (len(self.completed), self.retunes, self.reorders)
         self._admit_chunks()
         phase_end = self.cluster.sim.now + self.t_phase
         self.cluster.sim.schedule(self.check_interval, self._progress_check, phase_end)
@@ -207,6 +217,18 @@ class ChameleonRepair:
         plan = build_plan(dispatch, self.store.code, self.injector)
         self.store.relocate(dispatch.chunk, plan.destination)
         self._stripes_busy.add(dispatch.chunk.stripe)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "plan.chosen",
+                track="scheduler",
+                chunk=str(dispatch.chunk),
+                destination=plan.destination,
+                relays=sorted(dispatch.source_downloads),
+                uploaders=dispatch.participants,
+                estimated_time=dispatch.estimated_time,
+                phase=self.phase_index,
+            )
         instance = PlanInstance(
             self.cluster,
             plan,
@@ -246,13 +268,33 @@ class ChameleonRepair:
             instance.resume()
         self._paused.clear()
         self.tracker.clear_finished()
+        self._close_phase_span()
         self._start_phase()
+
+    def _close_phase_span(self) -> None:
+        if self._phase_span is None:
+            return
+        completed, retunes, reorders = self._phase_baseline
+        self._phase_span.finish(
+            admitted=self._phase_admitted,
+            completed=len(self.completed) - completed,
+            retunes=self.retunes - retunes,
+            reorders=self.reorders - reorders,
+        )
+        self._phase_span = None
 
     def _finish(self) -> None:
         if self._finished:
             return
         self._finished = True
+        self._close_phase_span()
         self.meter.finish(self.cluster.sim.now)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("chameleon.chunks_repaired").inc(len(self.completed))
+            registry.counter("chameleon.retunes").inc(self.retunes)
+            registry.counter("chameleon.reorders").inc(self.reorders)
+            registry.counter("chameleon.replans").inc(self.replans)
         if self.on_all_done is not None:
             self.on_all_done(self)
 
@@ -274,6 +316,20 @@ class ChameleonRepair:
         transfer = task.transfer
         if instance.done or transfer.done or transfer.cancelled:
             return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "straggler.detected",
+                track="scheduler",
+                task=transfer.name,
+                task_id=transfer.id,
+                chunk=str(instance.plan.chunk),
+                expected_finish=task.expected_finish,
+                completed_slices=transfer.completed_slices,
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("chameleon.stragglers_detected").inc()
         # Strongest reaction first: if this chunk's repair has barely
         # moved, re-tune the *plan* — re-dispatch against the bandwidth
         # the monitor sees now, which substitutes the straggling node
@@ -295,6 +351,17 @@ class ChameleonRepair:
             # combine-upload stops waiting on it.
             replacement = instance.retune(transfer)
             self.retunes += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "plan.retuned",
+                    track="scheduler",
+                    kind="redirect",
+                    chunk=str(instance.plan.chunk),
+                    orig_task=transfer.name,
+                    orig_task_id=transfer.id,
+                    replacement=replacement.name,
+                    replacement_id=replacement.id,
+                )
             self.tracker.track(
                 replacement,
                 self.cluster.sim.now + self.check_interval * 2,
@@ -310,6 +377,15 @@ class ChameleonRepair:
             if paused:
                 self._paused.append(instance)
                 self.reorders += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "plan.reordered",
+                        track="scheduler",
+                        chunk=str(instance.plan.chunk),
+                        orig_task=transfer.name,
+                        orig_task_id=transfer.id,
+                        paused=len(paused),
+                    )
                 transfer.on_complete.append(
                     lambda _t, inst=instance: self._wake(inst)
                 )
@@ -338,6 +414,17 @@ class ChameleonRepair:
             self.pending.append(chunk)
             return True
         self.replans += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "plan.retuned",
+                track="scheduler",
+                kind="replan",
+                chunk=str(chunk),
+                orig_task=transfer.name,
+                orig_task_id=transfer.id,
+                destination=dispatch.destination,
+            )
         self._launch(dispatch)
         return True
 

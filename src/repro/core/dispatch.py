@@ -26,6 +26,7 @@ from repro.cluster.stripes import ChunkId
 from repro.codes.base import ErasureCode
 from repro.errors import SchedulingError
 from repro.monitor.bandwidth import BandwidthMonitor
+from repro.obs.tracer import get_tracer
 from repro.core.candidates import repair_candidates
 from repro.core.tasks import ChunkDispatch, PhaseLoad
 
@@ -87,13 +88,21 @@ class TaskDispatcher:
         candidates = self.injector.candidate_destinations(chunk)
         if not candidates:
             raise SchedulingError(f"no destination candidates for {chunk}")
-        return min(
-            candidates,
-            key=lambda d: (
-                (self.load.down[d] + 1) * self.chunk_size / self._bw_down(d),
-                d,
-            ),
-        )
+        scores = {
+            d: (self.load.down[d] + 1) * self.chunk_size / self._bw_down(d)
+            for d in candidates
+        }
+        chosen = min(candidates, key=lambda d: (scores[d], d))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "dispatch.destination",
+                track="scheduler",
+                chunk=str(chunk),
+                chosen=chosen,
+                scores={str(d): scores[d] for d in sorted(scores)},
+            )
+        return chosen
 
     def dispatch_chunk(
         self,
@@ -181,6 +190,17 @@ class TaskDispatcher:
         # Traffic accounting fraction (Butterfly half-chunk reads).
         equation = code.repair_equation(chunk.index, set(chunk_indices.values()))
 
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "dispatch.chunk",
+                track="scheduler",
+                chunk=str(chunk),
+                destination=destination,
+                relays=relays,
+                uploaders=uploaders,
+                estimated_time=estimated,
+            )
         return ChunkDispatch(
             chunk=chunk,
             destination=destination,

@@ -5,6 +5,11 @@ Regenerates one paper figure/table and prints its rows, e.g.::
     python -m repro.experiments exp01 --scale 0.1
     python -m repro.experiments fig2
     python -m repro.experiments exp09 --seed 3
+
+Observability (any experiment, no per-experiment code):
+
+    python -m repro.experiments exp01 --trace /tmp/exp01.json   # Perfetto
+    python -m repro.experiments exp11 --report                  # text report
 """
 
 from __future__ import annotations
@@ -182,10 +187,52 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.08,
                         help="workload scale in (0, 1]; 1.0 = paper size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the whole run "
+                             "(open in Perfetto or chrome://tracing)")
+    parser.add_argument("--report", action="store_true",
+                        help="print a run report (per-phase breakdown, slowest "
+                             "tasks, scheduler decision log)")
     args = parser.parse_args(argv)
-    for title, headers, rows in EXPERIMENTS[args.experiment](args.scale, args.seed):
-        print(format_table(title, headers, rows))
-        print()
+
+    if args.trace is not None:
+        # Fail before the (potentially long) run, not at export time.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write trace file {args.trace!r}: {exc}")
+
+    observing = args.trace is not None or args.report
+    tracer = registry = prev_tracer = prev_registry = None
+    if observing:
+        from repro.obs import (
+            MetricsRegistry,
+            Tracer,
+            build_report,
+            set_registry,
+            set_tracer,
+            write_chrome_trace,
+        )
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        prev_tracer = set_tracer(tracer)
+        prev_registry = set_registry(registry)
+    try:
+        for title, headers, rows in EXPERIMENTS[args.experiment](args.scale, args.seed):
+            print(format_table(title, headers, rows))
+            print()
+        if observing:
+            if args.trace is not None:
+                count = write_chrome_trace(tracer, args.trace)
+                print(f"trace: {count} events written to {args.trace}")
+            if args.report:
+                print(build_report(tracer, registry))
+    finally:
+        if observing:
+            set_tracer(prev_tracer)
+            set_registry(prev_registry)
     return 0
 
 

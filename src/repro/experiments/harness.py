@@ -7,15 +7,30 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import Scenario
+from repro.obs.tracer import get_tracer
 
 #: Hard stop for any simulated run (seconds of virtual time).
 MAX_SIM_TIME = 200_000.0
 
 
 def run_sim_until(cluster, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
-    """Advance the simulator in steps until ``predicate()`` or ``limit``."""
+    """Advance the simulator until ``predicate()`` holds or ``limit``.
+
+    The predicate is re-checked at least every ``step`` seconds of
+    virtual time, but the clock jumps straight to the next queued event
+    when that lies further away — a sparse or drained event queue no
+    longer costs thousands of idle ``run()`` probes. With an empty
+    queue, nothing can change except the clock itself, so it advances
+    directly to ``limit`` (satisfying any time-based predicate on the
+    way out).
+    """
     while not predicate() and cluster.sim.now < limit:
-        cluster.sim.run(until=cluster.sim.now + step)
+        next_time = cluster.sim.peek_next_time()
+        if next_time is None:
+            cluster.sim.run(until=limit)
+            break
+        target = min(max(cluster.sim.now + step, next_time), limit)
+        cluster.sim.run(until=target)
     if not predicate():
         raise ReproError(f"simulation did not converge within {limit} s")
     return cluster.sim.now
@@ -81,6 +96,14 @@ def run_repair_experiment(
     a window consisting purely of its worst moments.
     """
     scenario = scenario if scenario is not None else Scenario(config)
+    tracer = get_tracer()
+    run_span = tracer.span(
+        "experiment.run",
+        track="harness",
+        algorithm=algorithm,
+        trace=(trace or config.trace) if foreground else "none",
+        failed_nodes=failed_nodes,
+    )
     if foreground:
         scenario.start_foreground(trace, transition_segments=transition_segments)
         # Let the monitor observe at least one window of pure foreground.
@@ -98,6 +121,11 @@ def run_repair_experiment(
     # The meter records exact start/finish timestamps; the stepped run
     # loop overshoots, so never derive the repair time from sim.now.
     elapsed = repairer.meter.elapsed
+    run_span.finish(
+        repair_time=elapsed,
+        chunks=len(report.failed_chunks),
+        sim_events=scenario.cluster.sim.events_dispatched,
+    )
     result = RepairResult(
         algorithm=algorithm,
         trace=(trace or config.trace) if foreground else "none",
@@ -136,6 +164,10 @@ def run_trace_with_repair(
     """Trace execution time while a repair runs (Exp#2's ``T*``)."""
     cfg = config.with_(requests_per_client=requests_per_client)
     scenario = Scenario(cfg)
+    run_span = get_tracer().span(
+        "experiment.run", track="harness", algorithm=algorithm,
+        trace=trace or cfg.trace,
+    )
     scenario.start_foreground(trace)
     scenario.cluster.sim.run(until=scenario.cluster.sim.now + 2.0)
     report = scenario.fail_nodes(1)
@@ -146,6 +178,7 @@ def run_trace_with_repair(
         scenario.cluster, lambda: repairer.done and scenario.foreground_done()
     )
     end = scenario.cluster.sim.now
+    run_span.finish(repair_time=end - start, chunks=len(report.failed_chunks))
     result = RepairResult(
         algorithm=algorithm,
         trace=trace or cfg.trace,

@@ -14,6 +14,7 @@ from repro.core.chameleon_io import ChameleonRepairIO
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.monitor.bandwidth import BandwidthMonitor
+from repro.obs.tracer import get_tracer
 from repro.repair.base import ConventionalRepair, ECPipe, PPR
 from repro.repair.repairboost import RepairBoost
 from repro.repair.runner import RepairRunner
@@ -43,6 +44,9 @@ class Scenario:
             racks=config.racks,
             oversubscription=config.oversubscription,
         )
+        # When tracing is on, timestamps follow this scenario's simulator
+        # (successive scenarios lay out sequentially in one trace file).
+        get_tracer().bind_clock(self.cluster.sim)
         # Enough stripes that the first failed node holds >= num_chunks
         # chunks (each node appears in a stripe with probability n/N).
         expected_per_stripe = self.code.n / config.num_nodes

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CodingError
-from repro.gf.field import gf_div, gf_inv, gf_mul, gf_pow
+from repro.gf.field import gf_inv, gf_pow
 from repro.gf.tables import MUL_TABLE
 
 

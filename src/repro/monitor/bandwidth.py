@@ -14,6 +14,8 @@ from repro.cluster.node import Node
 from repro.cluster.topology import Cluster
 from repro.errors import SimulationError
 from repro.metrics.linkstats import REPAIR_TAG
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.sim.resources import Resource
 
 #: Fraction of capacity always assumed available: even a saturated link
@@ -68,11 +70,29 @@ class BandwidthMonitor:
             return
         self._last_sample_time = self.cluster.sim.now
         self.cluster.flows.settle_now()
+        tracer = get_tracer()
+        registry = get_registry()
         for res in self._resources:
             current = self._foreground_bytes(res)
             delta = current - self._last_counts[res.name]
             self._last_counts[res.name] = current
             self._foreground_bw[res.name] = delta / elapsed
+            if tracer.enabled:
+                # One counter series per resource track: the viewer plots
+                # each uplink/downlink/disk's foreground bandwidth over time.
+                tracer.counter(
+                    "bw.foreground", self._foreground_bw[res.name], track=res.name
+                )
+        if tracer.enabled:
+            tracer.instant(
+                "monitor.sampled", track="monitor", elapsed=elapsed,
+                resources=len(self._resources),
+            )
+        if registry.enabled:
+            registry.counter("monitor.samples").inc()
+            histogram = registry.histogram("monitor.foreground_bw")
+            for res in self._resources:
+                histogram.observe(self._foreground_bw[res.name])
 
     def foreground_bw(self, res: Resource) -> float:
         """Average foreground bandwidth of the last window (bytes/s)."""

@@ -32,10 +32,18 @@ class TrackedTask:
 
 @dataclass
 class ProgressTracker:
-    """Collects tracked tasks and reports stragglers."""
+    """Collects tracked tasks and reports stragglers.
+
+    Finished tasks are pruned as soon as a scan encounters them, so the
+    per-check cost tracks the number of *live* tasks — over a long
+    repair the tracked set would otherwise grow with every transfer ever
+    dispatched. Pruned counts are kept for reporting.
+    """
 
     threshold: float = 2.0
     tasks: list[TrackedTask] = field(default_factory=list)
+    completed_count: int = 0
+    cancelled_count: int = 0
 
     def track(self, transfer: Transfer, expected_finish: float, chunk_key=None) -> TrackedTask:
         """Register a task with its expected completion time."""
@@ -45,9 +53,34 @@ class ProgressTracker:
         self.tasks.append(task)
         return task
 
+    def _prune(self, task: TrackedTask) -> bool:
+        """Count and drop a finished task; False if it is still live."""
+        if task.transfer.done:
+            self.completed_count += 1
+            return True
+        if task.transfer.cancelled:
+            self.cancelled_count += 1
+            return True
+        return False
+
     def delayed_tasks(self, now: float) -> list[TrackedTask]:
-        """All live tasks whose finish time exceeded expectation + threshold."""
-        return [t for t in self.tasks if t.is_delayed(now, self.threshold)]
+        """Live tasks whose finish time exceeded expectation + threshold.
+
+        Side effect: done/cancelled tasks encountered by the scan are
+        dropped (their counts accumulate in ``completed_count`` /
+        ``cancelled_count``), keeping repeated checks proportional to the
+        live task set instead of the whole run's history.
+        """
+        live: list[TrackedTask] = []
+        delayed: list[TrackedTask] = []
+        for task in self.tasks:
+            if self._prune(task):
+                continue
+            live.append(task)
+            if now > task.expected_finish + self.threshold:
+                delayed.append(task)
+        self.tasks = live
+        return delayed
 
     def pending_tasks(self) -> list[TrackedTask]:
         """Tracked tasks that are neither done nor cancelled."""
@@ -59,4 +92,8 @@ class ProgressTracker:
 
     def clear_finished(self) -> None:
         """Forget tasks that completed (phase-boundary housekeeping)."""
-        self.tasks = [t for t in self.tasks if not t.transfer.done]
+        live = []
+        for task in self.tasks:
+            if not self._prune(task):
+                live.append(task)
+        self.tasks = live

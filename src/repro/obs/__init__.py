@@ -1,0 +1,57 @@
+"""Simulation-wide observability: tracing, metrics, exports, reports.
+
+The coordinator in the paper is built on continuous observation — it
+monitors idle bandwidth, tracks per-task expectations, and the whole
+evaluation is per-link, per-phase measurement. This package records the
+same signals for *our* runs: a virtual-time :class:`Tracer` threaded
+through the simulator, schedulers, and repair pipeline; a
+:class:`MetricsRegistry` of counters/gauges/streaming histograms; a
+Chrome trace-event exporter (open the file in Perfetto or
+``chrome://tracing``); and a plain-text run report.
+
+Everything is off by default: the process-global tracer/registry are
+null implementations until a run installs real ones (the experiment CLI
+does this behind ``--trace`` / ``--report``).
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.report import build_report
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "build_report",
+    "chrome_trace",
+    "chrome_trace_events",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "use_tracer",
+    "write_chrome_trace",
+]

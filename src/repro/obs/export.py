@@ -1,0 +1,158 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Maps the tracer's records onto the legacy trace-event format:
+
+* every distinct *track* (a node resource such as ``n3.up``, or a
+  logical lane like ``scheduler`` / ``tasks``) becomes one named thread
+  of a single ``repro-sim`` process, so the viewer shows one row per
+  node uplink/downlink/disk;
+* spans become complete (``"ph": "X"``) events — a span recorded on
+  several tracks (a flow crossing disk + uplink + downlink) is emitted
+  once per track;
+* instants become ``"ph": "i"`` events, counter samples ``"ph": "C"``
+  (rendered as a line chart per track).
+
+Timestamps are virtual-time seconds scaled to the microseconds the
+format requires; the event list is sorted by timestamp, so every track's
+``ts`` sequence is monotone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.tracer import Tracer
+
+_PID = 1
+_PROCESS_NAME = "repro-sim"
+
+
+def _us(seconds: float) -> int:
+    """Virtual seconds -> integer microseconds."""
+    return int(round(seconds * 1e6))
+
+
+def _jsonable(args: dict[str, Any]) -> dict[str, Any]:
+    """Coerce span/instant attributes into JSON-safe values."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, dict):
+            out[key] = {str(k): _jsonable({"v": v})["v"] for k, v in value.items()}
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            out[key] = [_jsonable({"v": v})["v"] for v in value]
+        else:
+            out[key] = str(value)
+    return out
+
+
+def _span_tracks(track) -> tuple[str, ...]:
+    return (track,) if isinstance(track, str) else tuple(track)
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` array for the tracer's records."""
+    tracks: set[str] = set()
+    for span in tracer.spans:
+        tracks.update(_span_tracks(span.track))
+    for event in tracer.instants:
+        tracks.add(event.track)
+    for sample in tracer.counters:
+        tracks.add(sample.track)
+
+    # Stable thread ids: logical lanes first, then node resources sorted
+    # by name so n3.up / n3.down / n3.dread / n3.dwrite group together.
+    def _track_key(name: str) -> tuple:
+        return (name.startswith(("n", "rack", "client")), name)
+
+    tid_of = {name: tid for tid, name in enumerate(sorted(tracks, key=_track_key))}
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": _PROCESS_NAME},
+        }
+    ]
+    for name, tid in sorted(tid_of.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    timed: list[dict] = []
+    for span in tracer.spans:
+        end = span.end if span.end is not None else tracer.high_water
+        args = _jsonable(span.args)
+        for track in _span_tracks(span.track):
+            timed.append(
+                {
+                    "name": span.name,
+                    "cat": track,
+                    "ph": "X",
+                    "ts": _us(span.start),
+                    "dur": max(_us(end) - _us(span.start), 0),
+                    "pid": _PID,
+                    "tid": tid_of[track],
+                    "args": args,
+                }
+            )
+    for event in tracer.instants:
+        timed.append(
+            {
+                "name": event.name,
+                "cat": event.track,
+                "ph": "i",
+                "s": "t",
+                "ts": _us(event.ts),
+                "pid": _PID,
+                "tid": tid_of[event.track],
+                "args": _jsonable(event.args),
+            }
+        )
+    for sample in tracer.counters:
+        timed.append(
+            {
+                "name": sample.name,
+                "cat": sample.track,
+                "ph": "C",
+                "ts": _us(sample.ts),
+                "pid": _PID,
+                "tid": tid_of[sample.track],
+                "args": {"value": sample.value},
+            }
+        )
+    timed.sort(key=lambda e: (e["ts"], e["tid"]))
+    events.extend(timed)
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The complete trace document (``json.dump``-ready)."""
+    return {"traceEvents": chrome_trace_events(tracer), "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    document = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return len(document["traceEvents"])

@@ -1,0 +1,161 @@
+"""Plain-text run reports assembled from a tracer's records.
+
+Mirrors the measurements the paper's evaluation leans on: a per-phase
+time/throughput breakdown (Exp#11's decomposition), the slowest repair
+tasks (the straggler tail), and the scheduler's decision log (which plan
+Algorithm 1 picked, when a straggler was detected, how it was re-tuned).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Scheduler decision events shown in the log section, in one place so
+#: the report and the instrumentation sites cannot drift apart.
+DECISION_EVENTS = (
+    "plan.chosen",
+    "straggler.detected",
+    "plan.retuned",
+    "plan.reordered",
+)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list]) -> list[str]:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return lines
+
+
+def _args_brief(args: dict, limit: int = 4) -> str:
+    parts = []
+    for key, value in args.items():
+        if isinstance(value, (list, tuple, set, frozenset, dict)):
+            continue  # keep the log line scannable
+        parts.append(f"{key}={_fmt(value)}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts)
+
+
+def build_report(
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+    *,
+    top_n: int = 10,
+    max_decisions: int = 40,
+) -> str:
+    """Render the run report for everything the tracer observed."""
+    lines: list[str] = ["=== Run report ==="]
+
+    runs = tracer.spans_named("experiment.run")
+    if runs:
+        lines.append("")
+        lines.append("Runs")
+        rows = []
+        for span in runs:
+            rows.append(
+                [
+                    span.args.get("algorithm", "?"),
+                    span.args.get("trace", "?"),
+                    span.duration,
+                    span.args.get("repair_time", span.duration),
+                    span.args.get("chunks", "-"),
+                ]
+            )
+        lines.extend(
+            _table(["algorithm", "trace", "span s", "repair s", "chunks"], rows)
+        )
+
+    phases = tracer.spans_named("phase")
+    if phases:
+        lines.append("")
+        lines.append("Per-phase breakdown")
+        rows = []
+        for span in phases:
+            rows.append(
+                [
+                    span.args.get("index", "-"),
+                    span.start,
+                    span.duration,
+                    span.args.get("admitted", "-"),
+                    span.args.get("completed", "-"),
+                    span.args.get("retunes", 0),
+                    span.args.get("reorders", 0),
+                ]
+            )
+        lines.extend(
+            _table(
+                ["phase", "start s", "length s", "admitted", "completed",
+                 "retunes", "reorders"],
+                rows,
+            )
+        )
+
+    tasks = [s for s in tracer.spans_named("repair.task") if s.end is not None]
+    if tasks:
+        lines.append("")
+        lines.append(f"Slowest repair tasks (top {min(top_n, len(tasks))})")
+        tasks.sort(key=lambda s: s.duration, reverse=True)
+        rows = []
+        for span in tasks[:top_n]:
+            rows.append(
+                [
+                    str(span.args.get("chunk", "?")),
+                    span.args.get("destination", "-"),
+                    span.start,
+                    span.duration,
+                    span.args.get("status", "done"),
+                ]
+            )
+        lines.extend(
+            _table(["chunk", "dest", "start s", "duration s", "status"], rows)
+        )
+
+    decisions = tracer.instants_named(*DECISION_EVENTS)
+    if decisions:
+        lines.append("")
+        shown = decisions[:max_decisions]
+        lines.append(f"Scheduler decisions ({len(shown)} of {len(decisions)})")
+        for event in shown:
+            lines.append(
+                f"  [{event.ts:10.3f}s] {event.name:<20} {_args_brief(event.args)}"
+            )
+
+    if registry is not None and registry.enabled:
+        snapshot = registry.snapshot()
+        if snapshot:
+            lines.append("")
+            lines.append("Metrics")
+            rows = []
+            for name, data in snapshot.items():
+                if data["type"] == "histogram":
+                    rows.append(
+                        [name, "histogram",
+                         f"n={data['count']} mean={_fmt(data['mean'])} "
+                         f"p50={_fmt(data['p50'])} p99={_fmt(data['p99'])}"]
+                    )
+                else:
+                    rows.append([name, data["type"], _fmt(data["value"])])
+            lines.extend(_table(["metric", "type", "value"], rows))
+
+    if len(lines) == 1:
+        lines.append("(no observations recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Virtual-time tracing: spans, instants, and counter samples.
+
+The simulator's repair pipeline is driven by callbacks, so a span's
+lifetime rarely matches a Python call stack: a transfer "begins" when
+the manager releases it and "ends" many events later. Spans therefore
+work both as context managers (for synchronous regions such as plan
+computation) and as explicit handles (``span = tracer.span(...)`` ...
+``span.finish()``) for asynchronous lifetimes.
+
+All timestamps come from the *simulated* clock. A tracer is bound to a
+simulator with :meth:`Tracer.bind_clock`; re-binding (a new scenario in
+the same process) shifts subsequent timestamps past everything recorded
+so far, so a multi-run experiment yields one sequential timeline.
+
+Instrumentation sites fetch the process-global tracer via
+:func:`get_tracer`. The default is a :class:`NullTracer` whose methods
+are no-ops returning shared singletons, so tracing costs almost nothing
+unless a run opts in with :func:`set_tracer`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+#: Track name used when the caller does not care where an event lands.
+DEFAULT_TRACK = "default"
+
+
+class Span:
+    """A named interval on the virtual timeline.
+
+    ``end`` stays ``None`` until :meth:`finish`; exporters treat open
+    spans as running to the tracer's high-water mark.
+    """
+
+    __slots__ = ("tracer", "name", "track", "start", "end", "args")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        track: str | tuple[str, ...],
+        start: float,
+        args: dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.track = track
+        self.start = start
+        self.end: float | None = None
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        """Span length in (virtual) seconds; 0 while still open."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **args: Any) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.args.update(args)
+        return self
+
+    def finish(self, **args: Any) -> "Span":
+        """Close the span at the current virtual time (idempotent)."""
+        if args:
+            self.args.update(args)
+        if self.end is None:
+            self.end = self.tracer.now()
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        state = "open" if self.end is None else f"{self.duration:.3f}s"
+        return f"<Span {self.name} @{self.start:.3f} {state}>"
+
+
+class _NullSpan:
+    """Inert span handle shared by every NullTracer call."""
+
+    __slots__ = ()
+
+    duration = 0.0
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class InstantEvent:
+    """A point event (a decision, a detection, a sample boundary)."""
+
+    __slots__ = ("name", "track", "ts", "args")
+
+    def __init__(self, name: str, track: str, ts: float, args: dict[str, Any]) -> None:
+        self.name = name
+        self.track = track
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<Instant {self.name} @{self.ts:.3f}>"
+
+
+class CounterSample:
+    """One sample of a time-varying quantity (e.g. per-link bandwidth)."""
+
+    __slots__ = ("name", "track", "ts", "value")
+
+    def __init__(self, name: str, track: str, ts: float, value: float) -> None:
+        self.name = name
+        self.track = track
+        self.ts = ts
+        self.value = value
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Kept deliberately tiny — instrumentation in hot paths does
+    ``tracer = get_tracer()`` followed by ``if tracer.enabled`` or a
+    direct method call, and this class makes both nearly free.
+    """
+
+    enabled = False
+
+    def bind_clock(self, clock) -> None:
+        """No-op (a disabled tracer has no timeline)."""
+
+    def now(self) -> float:
+        """Always zero."""
+        return 0.0
+
+    def span(self, name: str, track=DEFAULT_TRACK, **args: Any):
+        """Return the shared inert span."""
+        return NULL_SPAN
+
+    def instant(self, name: str, track: str = DEFAULT_TRACK, **args: Any) -> None:
+        """Discard the event."""
+
+    def counter(self, name: str, value: float, track: str = DEFAULT_TRACK) -> None:
+        """Discard the sample."""
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    @property
+    def instants(self) -> tuple:
+        return ()
+
+    @property
+    def counters(self) -> tuple:
+        return ()
+
+
+class Tracer:
+    """Recording tracer bound to a virtual clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._offset = 0.0
+        self._high_water = 0.0
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.counters: list[CounterSample] = []
+
+    def bind_clock(self, clock) -> None:
+        """Attach a clock source: a callable or anything with ``.now``.
+
+        Binding a *new* clock offsets subsequent timestamps past the
+        high-water mark of everything recorded so far, so traces from
+        successive scenarios (each starting at virtual t=0) lay out
+        sequentially instead of overlapping.
+        """
+        if callable(clock):
+            self._clock = clock
+        else:
+            self._clock = lambda sim=clock: sim.now
+        self._offset = self._high_water
+
+    def now(self) -> float:
+        """Current trace timestamp (offset + bound clock)."""
+        ts = self._offset + self._clock()
+        if ts > self._high_water:
+            self._high_water = ts
+        return ts
+
+    @property
+    def high_water(self) -> float:
+        """Largest timestamp handed out so far."""
+        return self._high_water
+
+    def span(self, name: str, track=DEFAULT_TRACK, **args: Any) -> Span:
+        """Open a span starting now; close it with ``finish()`` / ``with``."""
+        span = Span(self, name, track, self.now(), args)
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, track: str = DEFAULT_TRACK, **args: Any) -> InstantEvent:
+        """Record a point event at the current virtual time."""
+        event = InstantEvent(name, track, self.now(), args)
+        self.instants.append(event)
+        return event
+
+    def counter(self, name: str, value: float, track: str = DEFAULT_TRACK) -> None:
+        """Record one sample of a time-varying quantity."""
+        self.counters.append(CounterSample(name, track, self.now(), float(value)))
+
+    # -- queries used by the report builder ---------------------------------
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All spans with the given name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def instants_named(self, *names: str) -> list[InstantEvent]:
+        """All instant events matching any given name, by timestamp."""
+        wanted = set(names)
+        return sorted(
+            (e for e in self.instants if e.name in wanted), key=lambda e: e.ts
+        )
+
+
+NULL_TRACER = NullTracer()
+_tracer: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The process-global tracer (the shared NullTracer by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: NullTracer | Tracer | None):
+    """Install ``tracer`` globally (None restores the NullTracer).
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: NullTracer | Tracer) -> Iterator[NullTracer | Tracer]:
+    """Temporarily install ``tracer`` (restores the previous one)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

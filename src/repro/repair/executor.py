@@ -15,6 +15,7 @@ import numpy as np
 from repro.codes.butterfly import ButterflyCode
 from repro.errors import PlanError
 from repro.gf.field import vec_addmul
+from repro.obs.tracer import get_tracer
 from repro.repair.plan import RepairPlan
 
 
@@ -27,6 +28,16 @@ def execute_plan(plan: RepairPlan, chunk_data: dict[int, np.ndarray]) -> np.ndar
     for src in plan.sources:
         if src.chunk_index not in chunk_data:
             raise PlanError(f"missing data for chunk index {src.chunk_index}")
+    with get_tracer().span(
+        "decode.chunk",
+        track="compute",
+        chunk=str(plan.chunk),
+        sources=len(plan.sources),
+    ):
+        return _execute(plan, chunk_data)
+
+
+def _execute(plan: RepairPlan, chunk_data: dict[int, np.ndarray]) -> np.ndarray:
     length = len(next(iter(chunk_data.values())))
 
     # payload(x) = coeff_x * C_x  XOR  (payloads of all children of x),

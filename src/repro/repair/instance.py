@@ -20,6 +20,8 @@ from typing import Callable
 from repro.cluster.topology import Cluster
 from repro.errors import PlanError
 from repro.metrics.linkstats import REPAIR_TAG
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.repair.plan import RepairPlan
 from repro.sim.transfers import Transfer
 
@@ -45,11 +47,13 @@ class PlanInstance:
         self.tag = tag
         self.on_complete = on_complete
         self.started = False
+        self.started_at: float | None = None
         self.completed_at: float | None = None
         self.cancelled = False
         #: uploader node id -> its upload transfer (the live plan edges).
         self.uploads: dict[int, Transfer] = {}
         self.write: Transfer | None = None
+        self._obs_span = None
         self._build(final_write)
 
     # -- construction ---------------------------------------------------------
@@ -119,6 +123,16 @@ class PlanInstance:
         if self.started:
             return
         self.started = True
+        self.started_at = self.cluster.sim.now
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._obs_span = tracer.span(
+                "repair.task",
+                track="repair",
+                chunk=str(self.plan.chunk),
+                destination=self.plan.destination,
+                sources=len(self.plan.sources),
+            )
         for transfer in self.uploads.values():
             self.cluster.transfers.start(transfer)
         if self.write is not None:
@@ -127,6 +141,9 @@ class PlanInstance:
     def cancel(self) -> None:
         """Abort the repair; completion callbacks never fire."""
         self.cancelled = True
+        if self._obs_span is not None:
+            self._obs_span.finish(status="cancelled")
+            self._obs_span = None
         for transfer in self.uploads.values():
             if not transfer.done:
                 self.cluster.transfers.cancel(transfer)
@@ -137,6 +154,16 @@ class PlanInstance:
         if self.done or self.cancelled:
             return
         self.completed_at = self.cluster.sim.now
+        if self._obs_span is not None:
+            self._obs_span.finish()
+            self._obs_span = None
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repairs.completed").inc()
+            if self.started_at is not None:
+                registry.histogram("repair.duration_s").observe(
+                    self.completed_at - self.started_at
+                )
         if self.on_complete is not None:
             self.on_complete(self)
 

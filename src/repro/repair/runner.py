@@ -16,6 +16,7 @@ from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
 from repro.errors import SchedulingError
 from repro.metrics.throughput import RepairThroughputMeter
+from repro.obs.tracer import get_tracer
 from repro.repair.base import RepairAlgorithm
 from repro.repair.instance import PlanInstance
 
@@ -94,6 +95,16 @@ class RepairRunner:
         # placement and cannot double-book a destination.
         self.store.relocate(chunk, plan.destination)
         self._stripes_busy.add(chunk.stripe)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "plan.chosen",
+                track="scheduler",
+                chunk=str(chunk),
+                destination=plan.destination,
+                algorithm=getattr(self.algorithm, "name", "?"),
+                sources=len(plan.sources),
+            )
         instance = PlanInstance(
             self.cluster,
             plan,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
 from repro.sim.events import Event, EventQueue
 
 
@@ -20,11 +21,20 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self.events_dispatched = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def peek_next_time(self) -> float | None:
+        """Timestamp of the earliest queued event (None when drained).
+
+        Lets drivers jump straight to the next event instead of probing
+        the clock in blind fixed steps.
+        """
+        return self._queue.peek_time()
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -47,6 +57,7 @@ class Simulator:
         drained or the next event lies beyond ``until`` (in which case the
         clock is advanced exactly to ``until``).
         """
+        dispatched_before = self.events_dispatched
         self._running = True
         try:
             while self._running:
@@ -61,11 +72,17 @@ class Simulator:
                 if event.time < self._now - 1e-9:
                     raise SimulationError("event queue produced a past event")
                 self._now = event.time
+                self.events_dispatched += 1
                 event.callback(*event.args)
             else:
                 pass
         finally:
             self._running = False
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("sim.events_dispatched").inc(
+                self.events_dispatched - dispatched_before
+            )
         if until is not None and self._queue.peek_time() is None and self._now < until:
             self._now = until
         return self._now

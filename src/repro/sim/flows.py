@@ -6,6 +6,8 @@ import itertools
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.sim.allocator import allocate_rates
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
@@ -34,6 +36,7 @@ class Flow:
         "completed_at",
         "cancelled",
         "on_complete",
+        "_obs_span",
     )
 
     def __init__(
@@ -56,6 +59,7 @@ class Flow:
         self.completed_at: float | None = None
         self.cancelled = False
         self.on_complete: list[Callable[[Flow], None]] = []
+        self._obs_span = None
 
     @property
     def done(self) -> bool:
@@ -94,6 +98,20 @@ class FlowScheduler:
             raise SimulationError(f"cannot start finished flow {flow.name!r}")
         self._settle()
         flow.started_at = self.sim.now
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One span per flow, mirrored onto every resource it occupies
+            # so the exported trace shows one row per uplink/downlink/disk.
+            flow._obs_span = tracer.span(
+                "flow",
+                track=tuple(res.name for res in flow.resources),
+                flow=flow.name,
+                size=flow.size,
+                tag=flow.tag,
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("flows.started").inc()
         if flow.remaining <= _EPSILON_BYTES:
             # Zero-byte flow: complete immediately (still asynchronously,
             # so callers observe a consistent ordering).
@@ -105,6 +123,12 @@ class FlowScheduler:
     def cancel_flow(self, flow: Flow) -> None:
         """Abort a flow; its completion callbacks never fire."""
         flow.cancelled = True
+        if flow._obs_span is not None:
+            flow._obs_span.finish(status="cancelled")
+            flow._obs_span = None
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("flows.cancelled").inc()
         if flow in self.active:
             self._settle()
             self.active.discard(flow)
@@ -147,6 +171,11 @@ class FlowScheduler:
     def _do_recompute(self) -> None:
         self._recompute_event = None
         allocate_rates(self.active)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "flows.rebalanced", track="flows", active=len(self.active)
+            )
         self._schedule_next_completion()
 
     def _schedule_next_completion(self) -> None:
@@ -180,5 +209,16 @@ class FlowScheduler:
             return
         flow.remaining = 0.0
         flow.completed_at = self.sim.now
+        if flow._obs_span is not None:
+            flow._obs_span.finish()
+            flow._obs_span = None
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("flows.completed").inc()
+            registry.counter("flows.bytes").inc(flow.size)
+            if flow.started_at is not None:
+                registry.histogram("flow.duration_s").observe(
+                    flow.completed_at - flow.started_at
+                )
         for callback in list(flow.on_complete):
             callback(flow)

@@ -21,6 +21,8 @@ import math
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.sim.flows import Flow, FlowScheduler
 from repro.sim.resources import Resource
 
@@ -62,6 +64,7 @@ class Transfer:
         self.on_slice: list[Callable[[Transfer, int], None]] = []
         self._manager: TransferManager | None = None
         self._inflight: Flow | None = None
+        self._obs_span = None
 
     def depends_on(self, other: Transfer) -> Transfer:
         """Declare a slice-wise pipeline dependency on ``other``."""
@@ -107,10 +110,31 @@ class TransferManager:
         transfer._manager = self
         transfer.released = True
         transfer.started_at = self.scheduler.sim.now
+        tracer = get_tracer()
+        if tracer.enabled:
+            transfer._obs_span = tracer.span(
+                "transfer",
+                track="tasks",
+                task=transfer.name,
+                task_id=transfer.id,
+                size=transfer.size,
+                slices=transfer.num_slices,
+                tag=transfer.tag,
+            )
         self._try_launch(transfer)
 
     def pause(self, transfer: Transfer) -> None:
         """Stop launching further slices (the in-flight slice completes)."""
+        if not transfer.paused:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "transfer.paused",
+                    track="tasks",
+                    task=transfer.name,
+                    task_id=transfer.id,
+                    completed_slices=transfer.completed_slices,
+                )
         transfer.paused = True
 
     def resume(self, transfer: Transfer) -> None:
@@ -118,12 +142,23 @@ class TransferManager:
         if not transfer.paused:
             return
         transfer.paused = False
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "transfer.resumed",
+                track="tasks",
+                task=transfer.name,
+                task_id=transfer.id,
+            )
         if transfer.released:
             self._try_launch(transfer)
 
     def cancel(self, transfer: Transfer) -> None:
         """Abort the transfer: in-flight slice is dropped, no callbacks fire."""
         transfer.cancelled = True
+        if transfer._obs_span is not None:
+            transfer._obs_span.finish(status="cancelled")
+            transfer._obs_span = None
         if transfer._inflight is not None:
             self.scheduler.cancel_flow(transfer._inflight)
             transfer._inflight = None
@@ -186,6 +221,16 @@ class TransferManager:
                 self._try_launch(dependent)
         if transfer.completed_slices >= transfer.num_slices:
             transfer.completed_at = self.scheduler.sim.now
+            if transfer._obs_span is not None:
+                transfer._obs_span.finish()
+                transfer._obs_span = None
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("transfers.completed").inc()
+                if transfer.started_at is not None:
+                    registry.histogram("transfer.duration_s").observe(
+                        transfer.completed_at - transfer.started_at
+                    )
             for callback in list(transfer.on_complete):
                 callback(transfer)
         else:

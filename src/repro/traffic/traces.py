@@ -81,7 +81,9 @@ def ycsb_a(num_keys: int = 10_000, seed: int = 0) -> TraceGenerator:
     )
 
 
-def ibm_object_store(num_keys: int = 10_000, seed: int = 0, cap: float = 256 * MB) -> TraceGenerator:
+def ibm_object_store(
+    num_keys: int = 10_000, seed: int = 0, cap: float = 256 * MB
+) -> TraceGenerator:
     """IBM Object Store trace 000: wildly varied value sizes (16 B up to
     2.4 GB in the original; capped at ``cap`` for simulation scale),
     read-heavy object storage."""

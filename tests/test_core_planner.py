@@ -1,7 +1,6 @@
 """Unit tests for Algorithm 1 (tunable repair-plan establishment)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

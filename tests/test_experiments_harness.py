@@ -71,6 +71,63 @@ class TestRunSimUntil:
         with pytest.raises(ReproError):
             run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
 
+    def test_skips_to_next_event_instead_of_stepping(self):
+        # A single event far in the future: the old fixed-step loop
+        # needed distance/step run() calls; the new loop jumps straight
+        # to the event.
+        from repro.sim import Simulator
+
+        class FakeCluster:
+            sim = Simulator()
+
+        fired = []
+        FakeCluster.sim.schedule(10_000.0, lambda: fired.append(1))
+        calls = 0
+        original_run = FakeCluster.sim.run
+
+        def counting_run(until=None):
+            nonlocal calls
+            calls += 1
+            return original_run(until=until)
+
+        FakeCluster.sim.run = counting_run
+        end = run_sim_until(FakeCluster(), lambda: bool(fired), step=5.0)
+        assert fired and end >= 10_000.0
+        assert calls <= 2
+
+    def test_empty_queue_advances_clock_to_satisfy_time_predicate(self):
+        from repro.sim import Simulator
+
+        class FakeCluster:
+            sim = Simulator()
+
+        cluster = FakeCluster()
+        end = run_sim_until(cluster, lambda: cluster.sim.now >= 50.0, limit=100.0)
+        assert end == 100.0
+        assert cluster.sim.now == 100.0
+
+    def test_empty_queue_with_unsatisfiable_predicate_raises(self):
+        from repro.sim import Simulator
+
+        class FakeCluster:
+            sim = Simulator()
+
+        with pytest.raises(ReproError):
+            run_sim_until(FakeCluster(), lambda: False, limit=10.0)
+
+    def test_peek_next_time(self):
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        event = sim.schedule(3.0, lambda: None)
+        sim.schedule(7.0, lambda: None)
+        assert sim.peek_next_time() == 3.0
+        event.cancel()
+        assert sim.peek_next_time() == 7.0
+        sim.run()
+        assert sim.peek_next_time() is None
+
 
 class TestFormatTable:
     def test_layout(self):

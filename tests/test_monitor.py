@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Cluster, MB, mbs
+from repro.cluster import Cluster, mbs
 from repro.errors import SimulationError
 from repro.monitor import BandwidthMonitor, ProgressTracker
 from repro.sim import Flow, Resource, Transfer
@@ -129,3 +129,43 @@ class TestProgressTracker:
         live = Transfer("b", (Resource("r", 100),), 100, 100)
         tracker.track(live, 1.0)
         assert [t.transfer for t in tracker.pending_tasks()] == [live]
+
+    def test_scan_prunes_finished_tasks(self):
+        # The tracked set must not grow with every transfer ever
+        # dispatched: a scan drops done/cancelled tasks and keeps counts.
+        tracker = ProgressTracker(threshold=1.0)
+        done = Transfer("a", (Resource("r", 100),), 100, 100)
+        done.completed_at = 1.0
+        cancelled = Transfer("b", (Resource("r", 100),), 100, 100)
+        cancelled.cancelled = True
+        live = Transfer("c", (Resource("r", 100),), 100, 100)
+        tracker.track(done, 1.0)
+        tracker.track(cancelled, 1.0)
+        tracker.track(live, 5.0)
+        tracker.delayed_tasks(now=2.0)
+        assert [t.transfer for t in tracker.tasks] == [live]
+        assert tracker.completed_count == 1
+        assert tracker.cancelled_count == 1
+
+    def test_pruned_counts_accumulate_across_scans(self):
+        tracker = ProgressTracker(threshold=1.0)
+        for i in range(3):
+            done = Transfer(f"t{i}", (Resource("r", 100),), 100, 100)
+            tracker.track(done, 1.0)
+            done.completed_at = float(i)
+            tracker.delayed_tasks(now=10.0)
+        assert tracker.tasks == []
+        assert tracker.completed_count == 3
+
+    def test_clear_finished_counts_and_drops_cancelled(self):
+        tracker = ProgressTracker()
+        done = Transfer("a", (Resource("r", 100),), 100, 100)
+        done.completed_at = 1.0
+        cancelled = Transfer("b", (Resource("r", 100),), 100, 100)
+        cancelled.cancelled = True
+        tracker.track(done, 1.0)
+        tracker.track(cancelled, 1.0)
+        tracker.clear_finished()
+        assert tracker.tasks == []
+        assert tracker.completed_count == 1
+        assert tracker.cancelled_count == 1

@@ -1,0 +1,151 @@
+"""Tests for Chrome-trace export and the plain-text run report."""
+
+import json
+from collections import defaultdict
+
+from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_report
+from repro.obs.tracer import Tracer
+
+
+def make_tracer():
+    clock = {"t": 0.0}
+    tracer = Tracer(clock=lambda: clock["t"])
+    return tracer, clock
+
+
+def sample_tracer():
+    tracer, clock = make_tracer()
+    flow = tracer.span("flow", track=("n0.up", "n1.down"), size=1000)
+    sched = tracer.span("phase", track="scheduler", index=0)
+    clock["t"] = 1.0
+    tracer.instant("plan.chosen", track="scheduler", chunk="s0/c1")
+    tracer.counter("bw.foreground", 125.0, track="n0.up")
+    clock["t"] = 2.5
+    flow.finish()
+    sched.finish(admitted=3)
+    return tracer
+
+
+class TestChromeExport:
+    def test_document_round_trips_through_json(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, str(path))
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == count
+        assert document == chrome_trace(tracer)
+
+    def test_timestamps_monotone_per_track(self):
+        events = chrome_trace_events(sample_tracer())
+        by_tid = defaultdict(list)
+        for e in events:
+            if e["ph"] != "M":
+                by_tid[e["tid"]].append(e["ts"])
+        assert by_tid  # at least one real track
+        for series in by_tid.values():
+            assert series == sorted(series)
+
+    def test_multi_track_span_emitted_once_per_track(self):
+        events = chrome_trace_events(sample_tracer())
+        flows = [e for e in events if e["name"] == "flow"]
+        assert {e["cat"] for e in flows} == {"n0.up", "n1.down"}
+        assert all(e["ph"] == "X" for e in flows)
+        assert all(e["dur"] == 2_500_000 for e in flows)  # 2.5 s in us
+        # The two copies must land on different rows (threads).
+        assert len({e["tid"] for e in flows}) == 2
+
+    def test_track_metadata_names_every_thread(self):
+        events = chrome_trace_events(sample_tracer())
+        named = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(named) == {"n0.up", "n1.down", "scheduler"}
+        used_tids = {e["tid"] for e in events if e["ph"] != "M"}
+        assert used_tids <= set(named.values())
+        # Logical lanes sort ahead of per-node resource rows.
+        assert named["scheduler"] < named["n0.up"]
+
+    def test_instants_and_counters_shapes(self):
+        events = chrome_trace_events(sample_tracer())
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        assert instant["args"] == {"chunk": "s0/c1"}
+        (counter,) = [e for e in events if e["ph"] == "C"]
+        assert counter["args"] == {"value": 125.0}
+
+    def test_open_span_closed_at_high_water(self):
+        tracer, clock = make_tracer()
+        tracer.span("open", track="lane")
+        clock["t"] = 4.0
+        tracer.instant("later", track="lane")
+        (span,) = [e for e in chrome_trace_events(tracer) if e["name"] == "open"]
+        assert span["dur"] == 4_000_000
+
+    def test_non_json_args_coerced(self):
+        tracer, _ = make_tracer()
+        class Opaque:
+            def __str__(self):
+                return "opaque"
+        tracer.instant(
+            "e", track="t",
+            obj=Opaque(), items=[1, Opaque()], table={1: 2.5},
+        )
+        events = chrome_trace_events(tracer)
+        args = [e for e in events if e["name"] == "e"][0]["args"]
+        json.dumps(args)  # must not raise
+        assert args == {"obj": "opaque", "items": [1, "opaque"], "table": {"1": 2.5}}
+
+    def test_empty_tracer_still_valid(self):
+        document = chrome_trace(Tracer())
+        json.dumps(document)
+        assert [e["ph"] for e in document["traceEvents"]] == ["M"]
+
+
+class TestBuildReport:
+    def test_empty(self):
+        assert "(no observations recorded)" in build_report(Tracer())
+
+    def test_sections_rendered(self):
+        tracer, clock = make_tracer()
+        run = tracer.span("experiment.run", track="harness",
+                          algorithm="ChameleonEC", trace="YCSB-A")
+        phase = tracer.span("phase", track="scheduler", index=0)
+        task = tracer.span("repair.task", track="repair",
+                           chunk="s0/c1", destination=5)
+        tracer.instant("plan.chosen", track="scheduler", chunk="s0/c1")
+        clock["t"] = 1.5
+        tracer.instant("straggler.detected", track="scheduler", task="dl")
+        task.finish()
+        phase.finish(admitted=2, completed=2, retunes=1, reorders=0)
+        run.finish(repair_time=1.5, chunks=2)
+        registry = MetricsRegistry()
+        registry.counter("chameleon.retunes").inc()
+        registry.histogram("repair.duration_s").observe(1.5)
+
+        report = build_report(tracer, registry)
+        assert "Runs" in report
+        assert "ChameleonEC" in report
+        assert "Per-phase breakdown" in report
+        assert "Slowest repair tasks" in report
+        assert "s0/c1" in report
+        assert "Scheduler decisions" in report
+        assert "straggler.detected" in report
+        assert "Metrics" in report
+        assert "chameleon.retunes" in report
+
+    def test_decision_log_truncated(self):
+        tracer, _ = make_tracer()
+        for i in range(50):
+            tracer.instant("plan.chosen", track="scheduler", chunk=str(i))
+        report = build_report(tracer, max_decisions=10)
+        assert "Scheduler decisions (10 of 50)" in report
+
+    def test_open_tasks_excluded_from_slowest(self):
+        tracer, _ = make_tracer()
+        tracer.span("repair.task", track="repair", chunk="open")
+        assert "Slowest repair tasks" not in build_report(tracer)

@@ -1,0 +1,156 @@
+"""Unit tests for counters/gauges/streaming histograms (repro.obs.metrics)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+def exact_quantile(samples, q):
+    """Reference order statistic: value at rank ceil(q * n)."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_invalid_growth(self):
+        with pytest.raises(ReproError):
+            Histogram("h", growth=1.0)
+
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram("h")
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_mean_min_max_exact(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 1.0
+        assert h.max == 9.0
+
+    def test_zeros_counted_as_exact_zero(self):
+        h = Histogram("h")
+        for v in (0.0, 0.0, 0.0, 100.0):
+            h.observe(v)
+        assert h.p50 == 0.0
+        assert h.quantile(1.0) == 100.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_quantiles_match_sorted_list_within_bucket_error(self, q):
+        # Acceptance bound: geometric buckets with growth g put any
+        # estimate within a factor sqrt(g) of the exact order statistic.
+        rng = random.Random(7)
+        h = Histogram("h", growth=1.05)
+        samples = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        for v in samples:
+            h.observe(v)
+        exact = exact_quantile(samples, q)
+        bound = math.sqrt(h.growth)
+        assert exact / bound <= h.quantile(q) <= exact * bound
+
+    def test_quantile_clamped_to_observed_extremes(self):
+        h = Histogram("h", growth=2.0)  # coarse buckets magnify midpoints
+        h.observe(5.0)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_memory_stays_bounded(self):
+        h = Histogram("h")
+        for i in range(10_000):
+            h.observe(1.0 + (i % 100) / 100.0)
+        # Samples span [1, 2): at most log(2)/log(1.05) + 1 buckets.
+        assert len(h._buckets) <= 16
+        assert h.count == 10_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError):
+            reg.gauge("x")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3.0}
+        assert snap["g"] == {"type": "gauge", "value": 1.5}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["count"] == 1
+        assert list(snap) == sorted(snap)
+
+    def test_iteration(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        assert [m.name for m in reg] == ["a"]
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullMetricsRegistry()
+        assert null.enabled is False
+        assert null.counter("c") is NULL_METRIC
+        null.counter("c").inc()
+        null.gauge("g").set(1)
+        null.histogram("h").observe(2)
+        assert null.histogram("h").quantile(0.5) == 0.0
+        assert null.snapshot() == {}
+        assert list(null) == []
+
+    def test_global_slot_roundtrip(self):
+        assert get_registry() is NULL_REGISTRY
+        reg = MetricsRegistry()
+        previous = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            assert set_registry(None) is reg
+        assert get_registry() is NULL_REGISTRY
+        assert previous is NULL_REGISTRY

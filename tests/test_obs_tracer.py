@@ -1,0 +1,149 @@
+"""Unit tests for the virtual-time tracer (repro.obs.tracer)."""
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.sim import Simulator
+
+
+class TestSpans:
+    def test_span_follows_virtual_clock(self):
+        sim = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(sim)
+        span = tracer.span("work", track="lane")
+        sim.schedule(3.5, lambda: span.finish())
+        sim.run()
+        assert span.start == 0.0
+        assert span.end == 3.5
+        assert span.duration == 3.5
+
+    def test_nested_spans_record_independent_intervals(self):
+        sim = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(sim)
+        outer = tracer.span("outer")
+        sim.schedule(1.0, lambda: tracer.span("inner").finish())
+        sim.schedule(4.0, lambda: outer.finish())
+        sim.run()
+        inner = tracer.spans_named("inner")[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
+    def test_context_manager_closes_span(self):
+        tracer = Tracer(clock=lambda: 2.0)
+        with tracer.span("sync", key="v") as span:
+            span.set(extra=1)
+        assert span.end == 2.0
+        assert span.args == {"key": "v", "extra": 1}
+
+    def test_finish_is_idempotent(self):
+        clock = {"t": 0.0}
+        tracer = Tracer(clock=lambda: clock["t"])
+        span = tracer.span("s")
+        clock["t"] = 1.0
+        span.finish(status="done")
+        clock["t"] = 9.0
+        span.finish(status="late")
+        assert span.end == 1.0  # first close wins
+        assert span.args["status"] == "late"  # but args still update
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer()
+        assert tracer.span("open").duration == 0.0
+
+    def test_instants_and_counters_timestamped(self):
+        clock = {"t": 1.0}
+        tracer = Tracer(clock=lambda: clock["t"])
+        tracer.instant("decide", track="sched", chunk="c0")
+        clock["t"] = 2.0
+        tracer.counter("bw", 42.0, track="n0.up")
+        assert tracer.instants[0].ts == 1.0
+        assert tracer.instants[0].args == {"chunk": "c0"}
+        assert tracer.counters[0].ts == 2.0
+        assert tracer.counters[0].value == 42.0
+
+    def test_instants_named_sorted_by_time(self):
+        clock = {"t": 5.0}
+        tracer = Tracer(clock=lambda: clock["t"])
+        tracer.instant("b")
+        clock["t"] = 1.0
+        tracer.instant("a")
+        events = tracer.instants_named("a", "b")
+        assert [e.name for e in events] == ["a", "b"]
+        assert [e.ts for e in events] == [1.0, 5.0]
+
+
+class TestClockRebinding:
+    def test_rebinding_offsets_past_high_water(self):
+        tracer = Tracer()
+        first = Simulator()
+        tracer.bind_clock(first)
+        first.schedule(10.0, lambda: tracer.instant("end-of-run-1"))
+        first.run()
+        second = Simulator()  # fresh sim restarts at t=0
+        tracer.bind_clock(second)
+        second.schedule(2.0, lambda: tracer.instant("in-run-2"))
+        second.run()
+        ts1 = tracer.instants_named("end-of-run-1")[0].ts
+        ts2 = tracer.instants_named("in-run-2")[0].ts
+        assert ts1 == 10.0
+        assert ts2 == 12.0  # sequential, not overlapping
+
+    def test_high_water_tracks_largest_timestamp(self):
+        clock = {"t": 0.0}
+        tracer = Tracer(clock=lambda: clock["t"])
+        clock["t"] = 7.0
+        tracer.instant("x")
+        assert tracer.high_water == 7.0
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        null = NullTracer()
+        assert null.enabled is False
+        assert null.now() == 0.0
+        assert null.span("s", anything=1) is NULL_SPAN
+        null.instant("i")
+        null.counter("c", 1.0)
+        assert null.spans == ()
+        assert null.instants == ()
+        assert null.counters == ()
+
+    def test_null_span_is_reusable_context_manager(self):
+        with NULL_SPAN as span:
+            assert span.set(a=1) is NULL_SPAN
+            assert span.finish() is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+
+    def test_bind_clock_noop(self):
+        NullTracer().bind_clock(Simulator())  # must not raise
+
+
+class TestGlobalSlot:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_returns_previous_and_none_restores(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(None) is tracer
+        assert get_tracer() is NULL_TRACER
+        assert previous is NULL_TRACER
+
+    def test_use_tracer_restores_on_exit(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER

@@ -20,7 +20,10 @@ SLICE = 4 * MB
 
 def make_env(code=None, num_nodes=12, num_stripes=20, seed=0, link=mbs(100)):
     code = code if code is not None else RSCode(4, 2)
-    cluster = Cluster(num_nodes=num_nodes, num_clients=0, link_bw=link, disk_read_bw=mbs(1000), disk_write_bw=mbs(1000))
+    cluster = Cluster(
+        num_nodes=num_nodes, num_clients=0, link_bw=link,
+        disk_read_bw=mbs(1000), disk_write_bw=mbs(1000),
+    )
     store = place_stripes(code, num_stripes, cluster.storage_ids, chunk_size=CHUNK, seed=seed)
     injector = FailureInjector(cluster, store)
     return cluster, store, injector

@@ -126,7 +126,6 @@ class TestTraceClient:
         cluster.sim.schedule(10.0, client.stop)
         cluster.sim.run()
         assert client.done
-        busy = self.make_client(cluster, router, num_requests=None)
         # Compare request volume: a bursting client issues fewer requests
         # than one running flat-out over the same span.
         cluster2, _, router2 = make_env()
