@@ -1,0 +1,106 @@
+"""Micro-benchmark: incremental allocator vs from-scratch on flow churn.
+
+Drives a ~1000-flow churn workload (scaled by ``REPRO_BENCH_SCALE``)
+over partitioned resource groups — the shape repair traffic takes, where
+flows cluster on a few links and the bipartite flow/resource graph
+splits into many small connected components. The incremental
+:class:`RateAllocator` recomputes only the dirty component per mutation;
+the :class:`FromScratchAllocator` re-rates every active flow. The
+``alloc.flows_touched`` counter measures exactly that work, and the
+incremental allocator must do at least 3x less of it.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.sim import (
+    Flow,
+    FlowScheduler,
+    FromScratchAllocator,
+    RateAllocator,
+    Resource,
+    Simulator,
+)
+
+RESOURCES_PER_GROUP = 4
+CHURN_WINDOW_S = 30.0
+
+
+def _run_churn(allocator, num_flows, num_groups, seed=7):
+    """Run one churn workload; returns (registry, completion times)."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    sched = FlowScheduler(sim, allocator=allocator)
+    groups = [
+        [
+            Resource(f"g{g}r{i}", float(rng.integers(50, 200)))
+            for i in range(RESOURCES_PER_GROUP)
+        ]
+        for g in range(num_groups)
+    ]
+    flows = []
+    for i in range(num_flows):
+        group = groups[int(rng.integers(0, num_groups))]
+        picks = rng.choice(RESOURCES_PER_GROUP, size=2, replace=False)
+        flow = Flow(
+            f"f{i}",
+            float(rng.integers(20, 400)),
+            tuple(group[int(j)] for j in picks),
+        )
+        flows.append(flow)
+        sim.schedule(
+            float(rng.uniform(0, CHURN_WINDOW_S)),
+            lambda f=flow: sched.start_flow(f),
+        )
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        sim.run()
+    finally:
+        set_registry(previous)
+    assert all(f.done for f in flows)
+    return registry, [f.completed_at for f in flows]
+
+
+def test_allocator_churn_scaling(benchmark, bench_scale):
+    num_flows = max(150, int(1000 * bench_scale))
+    num_groups = max(6, num_flows // 40)
+
+    incremental = benchmark.pedantic(
+        _run_churn,
+        args=(RateAllocator(), num_flows, num_groups),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = _run_churn(FromScratchAllocator(), num_flows, num_groups)
+
+    rows = []
+    for label, (registry, _) in (("incremental", incremental),
+                                 ("from-scratch", baseline)):
+        component = registry.histogram("alloc.component_size")
+        rows.append([
+            label,
+            int(registry.counter("alloc.passes").value),
+            int(registry.counter("alloc.flows_touched").value),
+            round(component.mean, 2),
+            round(component.max, 0),
+        ])
+    emit(
+        benchmark,
+        f"Allocator scaling: {num_flows}-flow churn over {num_groups} "
+        "resource groups",
+        ["allocator", "passes", "flows_touched", "mean component", "max"],
+        rows,
+    )
+
+    # Both allocators must produce the same simulation.
+    for fast, oracle in zip(incremental[1], baseline[1]):
+        assert fast == oracle or abs(fast - oracle) < 1e-6
+
+    touched_fast = incremental[0].counter("alloc.flows_touched").value
+    touched_slow = baseline[0].counter("alloc.flows_touched").value
+    assert touched_slow >= 3 * touched_fast, (
+        f"expected >=3x fewer flow-rate recomputations, got "
+        f"{touched_slow:.0f} vs {touched_fast:.0f}"
+    )

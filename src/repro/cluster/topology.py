@@ -191,14 +191,20 @@ class Cluster:
 
     def set_link_bandwidth(self, link_bw: float) -> None:
         """Throttle every node's up/downlink (the wondershaper experiments)."""
+        changed = []
         for node in self.storage_nodes + self.clients:
             node.uplink.set_capacity(link_bw)
             node.downlink.set_capacity(link_bw)
-        self.flows.capacity_changed()
+            changed.append(node.uplink)
+            changed.append(node.downlink)
+        self.flows.capacity_changed(*changed)
 
     def set_disk_bandwidth(self, disk_bw: float) -> None:
         """Throttle every storage node's disk (storage-bottleneck experiments)."""
+        changed = []
         for node in self.storage_nodes:
             node.disk_read.set_capacity(disk_bw)
             node.disk_write.set_capacity(disk_bw)
-        self.flows.capacity_changed()
+            changed.append(node.disk_read)
+            changed.append(node.disk_write)
+        self.flows.capacity_changed(*changed)

@@ -1,6 +1,6 @@
 """Discrete-event fluid-flow network/storage simulator."""
 
-from repro.sim.allocator import allocate_rates
+from repro.sim.allocator import FromScratchAllocator, RateAllocator, allocate_rates
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.flows import Flow, FlowScheduler
@@ -12,6 +12,8 @@ __all__ = [
     "EventQueue",
     "Flow",
     "FlowScheduler",
+    "FromScratchAllocator",
+    "RateAllocator",
     "Resource",
     "Simulator",
     "Transfer",

@@ -7,13 +7,31 @@ be increased by decreasing that of a flow with an equal or smaller rate.
 This is the standard fluid model for TCP-like fair sharing and is what
 makes repair flows and foreground flows contend realistically on node
 up/downlinks.
+
+Two allocators share one progressive-filling core:
+
+* :func:`allocate_rates` / :class:`FromScratchAllocator` — recompute the
+  whole flow set on every call. Simple, and the reference oracle for the
+  incremental allocator's equivalence tests.
+* :class:`RateAllocator` — persists the flow/resource contention graph
+  across calls, tracks the resources touched by each mutation, and on
+  :meth:`RateAllocator.recompute` re-rates only the connected component
+  of flows reachable from those dirty resources. Max-min allocations
+  decompose exactly over connected components of the bipartite
+  flow/resource graph (flows in different components share no resource,
+  so neither can affect the other's bottleneck), which makes the
+  incremental result identical to a from-scratch pass — only cheaper
+  when the contention graph is not one giant component.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol
+from typing import Callable, Iterable, KeysView, Protocol
 
 from repro.sim.resources import Resource
+
+#: Strict-improvement slack when comparing bottleneck fair shares.
+_SHARE_SLACK = 1e-12
 
 
 class AllocatableFlow(Protocol):
@@ -23,53 +41,256 @@ class AllocatableFlow(Protocol):
     rate: float
 
 
-def allocate_rates(flows: Iterable[AllocatableFlow]) -> None:
-    """Assign max-min fair rates to ``flows`` in place.
+def _unique_resources(flow: AllocatableFlow) -> tuple[Resource, ...]:
+    """A flow's resources with duplicates removed, order preserved.
 
-    Runs progressive filling: repeatedly find the bottleneck resource
-    (smallest fair share among its unfixed flows), freeze its flows at
-    that share, subtract their usage everywhere, and continue.
+    A flow listing the same resource twice must count once against that
+    resource (it occupies one share of the pipe, not two); deduplicating
+    here keeps the usage subtraction and the user set consistent.
     """
-    unfixed: set[int] = set()
-    flow_list = list(flows)
-    for i, flow in enumerate(flow_list):
-        flow.rate = 0.0
-        unfixed.add(i)
+    return tuple(dict.fromkeys(flow.resources))
 
-    if not unfixed:
-        return
 
+def _progressive_fill(
+    flows: Iterable[AllocatableFlow],
+    flow_resources: dict[AllocatableFlow, tuple[Resource, ...]],
+) -> dict[AllocatableFlow, float]:
+    """Max-min rates for a *closed* set of flows.
+
+    ``flows`` must be closed under resource sharing (every flow crossing
+    a resource of a listed flow is itself listed); ``flow_resources``
+    maps each to its deduplicated resource tuple. Repeatedly finds the
+    bottleneck resource (smallest fair share among its unfixed flows),
+    freezes its flows at that share, subtracts their usage everywhere,
+    and continues.
+    """
+    rates: dict[AllocatableFlow, float] = {}
+    n_unfixed = 0
     remaining: dict[Resource, float] = {}
-    users: dict[Resource, set[int]] = {}
-    for i in unfixed:
-        for res in flow_list[i].resources:
-            if res not in remaining:
+    users: dict[Resource, set[AllocatableFlow]] = {}
+    for flow in flows:
+        resources = flow_resources[flow]
+        if not resources:
+            # Unconstrained in the fluid model: unbounded rate.
+            rates[flow] = float("inf")
+            continue
+        n_unfixed += 1
+        for res in resources:
+            members = users.get(res)
+            if members is None:
                 remaining[res] = res.capacity
-                users[res] = set()
-            users[res].add(i)
+                users[res] = {flow}
+            else:
+                members.add(flow)
 
-    while unfixed:
+    inf = float("inf")
+    while n_unfixed:
         bottleneck: Resource | None = None
-        best_share = float("inf")
-        for res, flow_ids in users.items():
-            if not flow_ids:
-                continue
-            share = remaining[res] / len(flow_ids)
-            if share < best_share - 1e-12:
+        best_share = inf
+        for res, members in users.items():
+            # Clamp float drift: repeated subtraction can push a fully
+            # used resource a hair below zero, which must not turn into
+            # a negative share. (Every set in ``users`` is non-empty:
+            # emptied entries are deleted in the freeze loop below.)
+            cap = remaining[res]
+            share = cap / len(members) if cap > 0.0 else 0.0
+            if share < best_share - _SHARE_SLACK:
                 best_share = share
                 bottleneck = res
-        if bottleneck is None:
-            # Remaining flows use no constrained resource: unbounded in the
-            # fluid model; cap at infinity is meaningless, so give them the
-            # largest share seen (or leave at 0 if nothing constrains them).
-            for i in unfixed:
-                flow_list[i].rate = float("inf")
+        if bottleneck is None:  # pragma: no cover - defensive; every
+            # unfixed flow sits in a non-empty user set by construction.
+            for members in users.values():
+                for flow in members:
+                    rates.setdefault(flow, inf)
             break
-        fixed_now = list(users[bottleneck])
-        for i in fixed_now:
-            flow_list[i].rate = max(best_share, 0.0)
-            for res in flow_list[i].resources:
-                remaining[res] -= flow_list[i].rate
-                users[res].discard(i)
-            unfixed.discard(i)
-        users[bottleneck].clear()
+        for flow in users.pop(bottleneck):
+            rates[flow] = best_share
+            n_unfixed -= 1
+            for res in flow_resources[flow]:
+                if res is bottleneck:
+                    continue
+                members = users.get(res)
+                if members is None:
+                    continue
+                remaining[res] -= best_share
+                members.discard(flow)
+                if not members:
+                    del users[res]
+    return rates
+
+
+def allocate_rates(flows: Iterable[AllocatableFlow]) -> None:
+    """Assign max-min fair rates to ``flows`` in place (from scratch)."""
+    flow_list = list(flows)
+    mapping = {flow: _unique_resources(flow) for flow in flow_list}
+    rates = _progressive_fill(mapping, mapping)
+    for flow in flow_list:
+        flow.rate = rates[flow]
+
+
+class RateAllocator:
+    """Incremental max-min allocator with a persistent contention graph.
+
+    Mutations (:meth:`add_flow`, :meth:`remove_flow`, :meth:`mark_dirty`)
+    only record which resources were touched; :meth:`recompute` then
+    re-rates the connected component of flows reachable from those dirty
+    resources and leaves every other flow's rate untouched. The caller
+    (normally :class:`repro.sim.flows.FlowScheduler`) coalesces a burst
+    of same-timestamp mutations into a single recompute epoch.
+    """
+
+    def __init__(self) -> None:
+        self._flow_resources: dict[AllocatableFlow, tuple[Resource, ...]] = {}
+        self._users: dict[Resource, set[AllocatableFlow]] = {}
+        self._dirty: set[Resource] = set()
+        self._all_dirty = False
+        # Flows added since the last recompute: they need a rate (and the
+        # scheduler needs to index their ETA) even if nothing else moved.
+        self._fresh: set[AllocatableFlow] = set()
+
+    def __len__(self) -> int:
+        return len(self._flow_resources)
+
+    @property
+    def flows(self) -> KeysView[AllocatableFlow]:
+        """The registered (active) flows."""
+        return self._flow_resources.keys()
+
+    def add_flow(self, flow: AllocatableFlow) -> None:
+        """Register ``flow``; its resources become dirty."""
+        if flow in self._flow_resources:
+            return
+        unique = _unique_resources(flow)
+        self._flow_resources[flow] = unique
+        self._fresh.add(flow)
+        for res in unique:
+            self._users.setdefault(res, set()).add(flow)
+            self._dirty.add(res)
+
+    def remove_flow(self, flow: AllocatableFlow) -> None:
+        """Unregister ``flow`` (completed or cancelled); resources dirty."""
+        unique = self._flow_resources.pop(flow, None)
+        if unique is None:
+            return
+        self._fresh.discard(flow)
+        for res in unique:
+            members = self._users.get(res)
+            if members is not None:
+                members.discard(flow)
+                if not members:
+                    del self._users[res]
+            self._dirty.add(res)
+
+    def mark_dirty(self, *resources: Resource) -> None:
+        """Mark capacity-changed resources; no arguments marks everything."""
+        if not resources:
+            self._all_dirty = True
+        else:
+            self._dirty.update(resources)
+
+    def recompute(
+        self, on_touch: Callable[[AllocatableFlow], None] | None = None
+    ) -> list[AllocatableFlow]:
+        """Re-rate the flows affected by mutations since the last call.
+
+        Re-runs progressive filling over the connected component
+        reachable from the dirty resources, then rewrites only the rates
+        that actually moved. ``on_touch`` is invoked once per rewritten
+        flow *before* its rate changes (the scheduler uses it to settle
+        progress at the old rate — which is exactly when settling is
+        required: a flow whose rate is unchanged keeps accruing progress
+        linearly from its older settle stamp). Returns the rewritten
+        flows; every other registered flow kept its previous rate.
+        """
+        flow_resources = self._flow_resources
+        if self._all_dirty:
+            comp_flows = set(flow_resources)
+        else:
+            users = self._users
+            comp_flows = set()
+            visited: set[Resource] = set()
+            stack = [res for res in self._dirty if res in users]
+            while stack:
+                res = stack.pop()
+                if res in visited:
+                    continue
+                visited.add(res)
+                for flow in users[res]:
+                    if flow not in comp_flows:
+                        comp_flows.add(flow)
+                        for other in flow_resources[flow]:
+                            if other not in visited:
+                                stack.append(other)
+            if self._fresh:
+                # Resource-less fresh flows sit in no user set; they
+                # still need their (unbounded) rate assigned once.
+                comp_flows.update(
+                    flow for flow in self._fresh if not flow_resources[flow]
+                )
+        self._dirty.clear()
+        self._all_dirty = False
+        self._fresh.clear()
+        if not comp_flows:
+            return []
+        changed: list[AllocatableFlow] = []
+        if len(comp_flows) == 1:
+            # Fast path for the common case of an uncontended component:
+            # a lone flow's max-min rate is its tightest capacity.
+            (flow,) = comp_flows
+            rate = float("inf")
+            for res in flow_resources[flow]:
+                if res.capacity < rate:
+                    rate = res.capacity
+            if rate != flow.rate:
+                if on_touch is not None:
+                    on_touch(flow)
+                flow.rate = rate
+                changed.append(flow)
+            return changed
+        rates = _progressive_fill(comp_flows, flow_resources)
+        for flow, rate in rates.items():
+            if rate != flow.rate:
+                if on_touch is not None:
+                    on_touch(flow)
+                flow.rate = rate
+                changed.append(flow)
+        return changed
+
+
+class FromScratchAllocator:
+    """Reference allocator: global progressive filling on every epoch.
+
+    Implements the same interface as :class:`RateAllocator` so it can be
+    dropped into a :class:`repro.sim.flows.FlowScheduler` as the oracle
+    in equivalence tests and as the baseline in scaling benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[AllocatableFlow, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    @property
+    def flows(self) -> KeysView[AllocatableFlow]:
+        """The registered (active) flows."""
+        return self._flows.keys()
+
+    def add_flow(self, flow: AllocatableFlow) -> None:
+        self._flows[flow] = None
+
+    def remove_flow(self, flow: AllocatableFlow) -> None:
+        self._flows.pop(flow, None)
+
+    def mark_dirty(self, *resources: Resource) -> None:
+        pass  # every recompute is global anyway
+
+    def recompute(
+        self, on_touch: Callable[[AllocatableFlow], None] | None = None
+    ) -> list[AllocatableFlow]:
+        flows = list(self._flows)
+        if on_touch is not None:
+            for flow in flows:
+                on_touch(flow)
+        allocate_rates(flows)
+        return flows

@@ -53,12 +53,21 @@ class Simulator:
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to time ``until``).
 
-        Returns the simulation time when the loop stops: either the queue
-        drained or the next event lies beyond ``until`` (in which case the
-        clock is advanced exactly to ``until``).
+        Returns the simulation time when the loop stops:
+
+        * the queue drained — when ``until`` is given the clock advances
+          exactly to ``until``, otherwise it stays at the last event;
+        * the next event lies beyond ``until`` — the clock advances
+          exactly to ``until``;
+        * an event called :meth:`stop` — the clock stays at that event's
+          timestamp, *even when* ``until`` was given and the queue is
+          empty. A stopped run never jumps ahead of the event that
+          stopped it, so ``run(until=...)`` callers can rely on
+          ``now == until`` if and only if the run was not stopped early.
         """
         dispatched_before = self.events_dispatched
         self._running = True
+        stopped = False
         try:
             while self._running:
                 next_time = self._queue.peek_time()
@@ -74,8 +83,7 @@ class Simulator:
                 self._now = event.time
                 self.events_dispatched += 1
                 event.callback(*event.args)
-            else:
-                pass
+            stopped = not self._running
         finally:
             self._running = False
         registry = get_registry()
@@ -83,7 +91,12 @@ class Simulator:
             registry.counter("sim.events_dispatched").inc(
                 self.events_dispatched - dispatched_before
             )
-        if until is not None and self._queue.peek_time() is None and self._now < until:
+        if (
+            not stopped
+            and until is not None
+            and self._queue.peek_time() is None
+            and self._now < until
+        ):
             self._now = until
         return self._now
 

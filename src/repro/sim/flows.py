@@ -2,17 +2,22 @@
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import time
 from typing import Callable
 
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
-from repro.sim.allocator import allocate_rates
+from repro.sim.allocator import RateAllocator
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
 _EPSILON_BYTES = 1e-6
+#: Completion entries within this many simulated seconds of the event
+#: timestamp are treated as due (guards float drift in ETA arithmetic).
+_EPSILON_TIME = 1e-9
 _flow_ids = itertools.count()
 
 
@@ -37,6 +42,8 @@ class Flow:
         "cancelled",
         "on_complete",
         "_obs_span",
+        "_settled_at",
+        "_eta",
     )
 
     def __init__(
@@ -60,6 +67,8 @@ class Flow:
         self.cancelled = False
         self.on_complete: list[Callable[[Flow], None]] = []
         self._obs_span = None
+        self._settled_at = 0.0
+        self._eta: float | None = None
 
     @property
     def done(self) -> bool:
@@ -78,26 +87,38 @@ class Flow:
 class FlowScheduler:
     """Owns the active flow set; settles progress and reallocates rates.
 
-    All mutations (start, cancel, capacity change) first *settle*: elapsed
-    time since the last settle is converted into transferred bytes at the
-    current rates and attributed to each resource's per-tag counters. Rate
-    recomputation is deferred to an immediate event so that a burst of
-    mutations at one timestamp pays for a single allocation pass.
+    Mutations (start, cancel, capacity change) register with the
+    allocator, which tracks the resources each one touched; the actual
+    rate recomputation is deferred to an immediate event so that a burst
+    of mutations at one timestamp pays for a single allocation *epoch*.
+    Each epoch re-rates only the contention component reachable from the
+    touched resources (see :class:`repro.sim.allocator.RateAllocator`);
+    flows outside it keep their rates, and their in-flight progress is
+    settled lazily — per flow, when its rate next changes, when it
+    completes, or when a monitor calls :meth:`settle_now`.
+
+    Completions are tracked in a lazy min-heap keyed by each flow's
+    estimated finish time. A rate change pushes a fresh entry and
+    invalidates the old one (stale entries are skipped on pop), so
+    finding the next completion costs O(log flows) instead of a linear
+    scan of the active set.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, allocator: RateAllocator | None = None) -> None:
         self.sim = sim
         self.active: set[Flow] = set()
-        self._last_settle = sim.now
+        self.allocator = allocator if allocator is not None else RateAllocator()
         self._recompute_event = None
         self._completion_event = None
+        self._eta_heap: list[tuple[float, int, Flow]] = []
+        self._eta_seq = itertools.count()
 
     def start_flow(self, flow: Flow) -> None:
         """Begin transferring ``flow``; completion callbacks fire later."""
         if flow.done or flow.cancelled:
             raise SimulationError(f"cannot start finished flow {flow.name!r}")
-        self._settle()
         flow.started_at = self.sim.now
+        flow._settled_at = self.sim.now
         tracer = get_tracer()
         if tracer.enabled:
             # One span per flow, mirrored onto every resource it occupies
@@ -118,51 +139,68 @@ class FlowScheduler:
             self.sim.schedule(0.0, self._complete_flow, flow)
             return
         self.active.add(flow)
+        self.allocator.add_flow(flow)
         self._request_recompute()
 
     def cancel_flow(self, flow: Flow) -> None:
-        """Abort a flow; its completion callbacks never fire."""
+        """Abort a flow; its completion callbacks never fire.
+
+        Idempotent, and a no-op for flows that already completed (a
+        finished flow cannot be un-finished, and counting it as cancelled
+        would double-book it). A flow that was never started is only
+        marked cancelled — so a later :meth:`start_flow` raises — without
+        touching counters or the active set.
+        """
+        if flow.done or flow.cancelled:
+            return
         flow.cancelled = True
         if flow._obs_span is not None:
             flow._obs_span.finish(status="cancelled")
             flow._obs_span = None
+        if flow.started_at is None:
+            return
         registry = get_registry()
         if registry.enabled:
             registry.counter("flows.cancelled").inc()
         if flow in self.active:
-            self._settle()
+            self._settle_flow(flow)
             self.active.discard(flow)
+            self.allocator.remove_flow(flow)
+            flow._eta = None
             self._request_recompute()
 
-    def capacity_changed(self) -> None:
-        """Re-run allocation after a resource capacity was modified."""
-        self._settle()
+    def capacity_changed(self, *resources: Resource) -> None:
+        """Re-run allocation after resource capacities were modified.
+
+        Passing the changed resources re-rates only their contention
+        component; with no arguments every active flow is re-rated.
+        """
+        self.allocator.mark_dirty(*resources)
         self._request_recompute()
 
     def settle_now(self) -> None:
         """Flush in-flight progress into the resource byte counters.
 
         Monitors call this before reading counters; otherwise bytes
-        transferred since the last flow event would be invisible.
+        transferred since each flow's last settle would be invisible.
         """
-        self._settle()
+        for flow in self.active:
+            self._settle_flow(flow)
 
     # -- internal machinery -------------------------------------------------
 
-    def _settle(self) -> None:
+    def _settle_flow(self, flow: Flow) -> None:
         now = self.sim.now
-        dt = now - self._last_settle
+        dt = now - flow._settled_at
         if dt <= 0:
-            self._last_settle = now
+            flow._settled_at = now
             return
-        for flow in self.active:
-            delta = min(flow.remaining, flow.rate * dt)
-            if delta <= 0:
-                continue
+        delta = min(flow.remaining, flow.rate * dt)
+        if delta > 0:
             flow.remaining -= delta
             for res in flow.resources:
                 res.account(flow.tag, delta)
-        self._last_settle = now
+        flow._settled_at = now
 
     def _request_recompute(self) -> None:
         if self._recompute_event is None or self._recompute_event.cancelled:
@@ -170,43 +208,114 @@ class FlowScheduler:
 
     def _do_recompute(self) -> None:
         self._recompute_event = None
-        allocate_rates(self.active)
+        registry = get_registry()
+        wall_start = time.perf_counter() if registry.enabled else 0.0
+        touched = self.allocator.recompute(on_touch=self._settle_flow)
+        now = self.sim.now
+        for flow in touched:
+            if flow not in self.active:
+                continue
+            if flow.rate > 0:
+                if flow.rate == float("inf"):
+                    eta = now
+                else:
+                    eta = now + flow.remaining / flow.rate
+                if flow._eta is not None and abs(eta - flow._eta) <= _EPSILON_TIME:
+                    # The rate came out unchanged: the existing heap
+                    # entry still points at the right time, so skip the
+                    # push and keep the heap free of duplicates.
+                    continue
+                flow._eta = eta
+                heapq.heappush(self._eta_heap, (eta, next(self._eta_seq), flow))
+            else:
+                flow._eta = None
+        if registry.enabled:
+            registry.counter("alloc.passes").inc()
+            registry.counter("alloc.flows_touched").inc(len(touched))
+            registry.histogram("alloc.component_size").observe(len(touched))
+            registry.histogram("alloc.duration_s").observe(
+                time.perf_counter() - wall_start
+            )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(
-                "flows.rebalanced", track="flows", active=len(self.active)
+                "flows.rebalanced",
+                track="flows",
+                active=len(self.active),
+                touched=len(touched),
             )
-        self._schedule_next_completion()
+        self._sync_completion_event()
 
-    def _schedule_next_completion(self) -> None:
+    def _sync_completion_event(self) -> None:
+        """Point the single completion event at the earliest live ETA."""
+        heap = self._eta_heap
+        while heap:
+            eta, _, flow = heap[0]
+            if flow._eta == eta and flow in self.active:
+                break
+            heapq.heappop(heap)  # stale: rate changed, cancelled, or done
+        if not heap:
+            if self._completion_event is not None:
+                self._completion_event.cancel()
+                self._completion_event = None
+            return
+        target = max(heap[0][0], self.sim.now)
         if self._completion_event is not None:
+            if not self._completion_event.cancelled and (
+                self._completion_event.time == target
+            ):
+                return
             self._completion_event.cancel()
-            self._completion_event = None
-        next_finish = None
-        for flow in self.active:
-            if flow.rate <= 0:
-                continue
-            eta = flow.remaining / flow.rate if flow.rate != float("inf") else 0.0
-            if next_finish is None or eta < next_finish:
-                next_finish = eta
-        if next_finish is not None:
-            self._completion_event = self.sim.schedule(
-                next_finish, self._on_completion_event
-            )
+        self._completion_event = self.sim.call_at(target, self._on_completion_event)
 
     def _on_completion_event(self) -> None:
         self._completion_event = None
-        self._settle()
-        finished = [f for f in self.active if f.remaining <= _EPSILON_BYTES]
+        now = self.sim.now
+        heap = self._eta_heap
+        finished: list[Flow] = []
+        while heap:
+            eta, _, flow = heap[0]
+            if flow._eta != eta or flow not in self.active:
+                heapq.heappop(heap)
+                continue
+            if eta > now + _EPSILON_TIME:
+                break
+            heapq.heappop(heap)
+            self._settle_flow(flow)
+            if flow.remaining <= _EPSILON_BYTES or (
+                flow.rate > 0 and flow.remaining <= flow.rate * _EPSILON_TIME
+            ):
+                # Done, or the residue finishes within the due window —
+                # at Gb/s rates a byte-scale sliver has a sub-nanosecond
+                # ETA, and retrying it at this same timestamp can never
+                # make progress (dt == 0). _complete_flow accounts the
+                # residual bytes.
+                finished.append(flow)
+            elif flow.rate > 0:
+                # Float drift left unfinished bytes; re-index the flow.
+                flow._eta = now + flow.remaining / flow.rate
+                heapq.heappush(heap, (flow._eta, next(self._eta_seq), flow))
+            else:  # pragma: no cover - defensive; a due entry implies
+                # the rate it was computed with is still in force.
+                flow._eta = None
         for flow in finished:
             self.active.discard(flow)
+            self.allocator.remove_flow(flow)
+            flow._eta = None
         for flow in finished:
             self._complete_flow(flow)
-        self._request_recompute()
+        if finished:
+            self._request_recompute()
+        self._sync_completion_event()
 
     def _complete_flow(self, flow: Flow) -> None:
         if flow.done or flow.cancelled:
             return
+        if flow.remaining > 0:
+            # Attribute the sub-epsilon residue so resource byte
+            # counters conserve the flow's full size.
+            for res in flow.resources:
+                res.account(flow.tag, flow.remaining)
         flow.remaining = 0.0
         flow.completed_at = self.sim.now
         if flow._obs_span is not None:

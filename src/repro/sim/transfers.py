@@ -124,22 +124,33 @@ class TransferManager:
         self._try_launch(transfer)
 
     def pause(self, transfer: Transfer) -> None:
-        """Stop launching further slices (the in-flight slice completes)."""
-        if not transfer.paused:
-            tracer = get_tracer()
-            if tracer.enabled:
-                tracer.instant(
-                    "transfer.paused",
-                    track="tasks",
-                    task=transfer.name,
-                    task_id=transfer.id,
-                    completed_slices=transfer.completed_slices,
-                )
+        """Stop launching further slices (the in-flight slice completes).
+
+        Only a live released transfer can pause: calls on transfers that
+        are done, cancelled, not yet started, or already paused are
+        no-ops (no state flip, no ``transfer.paused`` trace event).
+        """
+        if transfer.paused or not transfer.active:
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "transfer.paused",
+                track="tasks",
+                task=transfer.name,
+                task_id=transfer.id,
+                completed_slices=transfer.completed_slices,
+            )
         transfer.paused = True
 
     def resume(self, transfer: Transfer) -> None:
-        """Continue a paused transfer."""
-        if not transfer.paused:
+        """Continue a paused transfer.
+
+        Like :meth:`pause`, a no-op unless the transfer is live and
+        released — resuming a transfer that finished or was cancelled
+        while parked must not emit a spurious trace event.
+        """
+        if not transfer.paused or not transfer.active:
             return
         transfer.paused = False
         tracer = get_tracer()
@@ -150,11 +161,16 @@ class TransferManager:
                 task=transfer.name,
                 task_id=transfer.id,
             )
-        if transfer.released:
-            self._try_launch(transfer)
+        self._try_launch(transfer)
 
     def cancel(self, transfer: Transfer) -> None:
-        """Abort the transfer: in-flight slice is dropped, no callbacks fire."""
+        """Abort the transfer: in-flight slice is dropped, no callbacks fire.
+
+        Idempotent; cancelling a finished transfer is a no-op (dependents
+        were already woken exactly once by its completed slices).
+        """
+        if transfer.done or transfer.cancelled:
+            return
         transfer.cancelled = True
         if transfer._obs_span is not None:
             transfer._obs_span.finish(status="cancelled")

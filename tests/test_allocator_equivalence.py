@@ -1,0 +1,167 @@
+"""Randomized equivalence: incremental allocator vs from-scratch oracle.
+
+The incremental :class:`RateAllocator` must produce rates identical (to
+1e-9) to a full :func:`allocate_rates` pass after *every* mutation of a
+randomized sequence — flow arrivals, flow departures, and capacity
+changes — across hundreds of seeds. A second battery drives two complete
+:class:`FlowScheduler` simulations (one per allocator) through the same
+random scenario and compares completion times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Flow,
+    FlowScheduler,
+    FromScratchAllocator,
+    RateAllocator,
+    Resource,
+    Simulator,
+    allocate_rates,
+)
+
+NUM_SEEDS = 220
+MUTATIONS_PER_SEED = 12
+
+
+class StubFlow:
+    """Bare allocator client: resources + a rate slot."""
+
+    __slots__ = ("name", "resources", "rate")
+
+    def __init__(self, name, resources):
+        self.name = name
+        self.resources = tuple(resources)
+        self.rate = 0.0
+
+    def __repr__(self):  # pragma: no cover - assertion messages only
+        return f"<StubFlow {self.name} rate={self.rate}>"
+
+
+def _random_mutation(rng, alloc, live, resources, next_id):
+    """Apply one random mutation; returns the updated next flow id."""
+    roll = rng.random()
+    if roll < 0.5 or not live:
+        # Arrival crossing 0-3 random resources (0 => unbounded flow;
+        # duplicates allowed on purpose to exercise dedup).
+        count = int(rng.integers(0, 4))
+        chosen = [resources[int(i)] for i in rng.integers(0, len(resources), count)]
+        flow = StubFlow(f"f{next_id}", chosen)
+        live.append(flow)
+        alloc.add_flow(flow)
+        return next_id + 1
+    if roll < 0.8:
+        flow = live.pop(int(rng.integers(0, len(live))))
+        alloc.remove_flow(flow)
+        return next_id
+    res = resources[int(rng.integers(0, len(resources)))]
+    res.set_capacity(float(rng.integers(1, 1000)))
+    alloc.mark_dirty(res)
+    return next_id
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_incremental_matches_from_scratch(seed):
+    rng = np.random.default_rng(seed)
+    resources = [
+        Resource(f"r{i}", float(rng.integers(10, 1000)))
+        for i in range(int(rng.integers(2, 8)))
+    ]
+    alloc = RateAllocator()
+    live = []
+    next_id = 0
+    for _ in range(MUTATIONS_PER_SEED):
+        next_id = _random_mutation(rng, alloc, live, resources, next_id)
+        alloc.recompute()
+        incremental = {flow: flow.rate for flow in live}
+        allocate_rates(live)  # overwrites every rate from scratch
+        for flow in live:
+            assert incremental[flow] == pytest.approx(flow.rate, abs=1e-9), (
+                f"seed={seed} flow={flow.name}: "
+                f"incremental={incremental[flow]} scratch={flow.rate}"
+            )
+            flow.rate = incremental[flow]  # restore for the next round
+
+
+def _run_scenario(seed, allocator):
+    """One random flow workload on a FlowScheduler; returns completions."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    sched = FlowScheduler(sim, allocator=allocator)
+    resources = [Resource(f"r{i}", float(rng.integers(50, 500))) for i in range(5)]
+    flows = []
+    for i in range(25):
+        count = int(rng.integers(1, 3))
+        chosen = rng.choice(len(resources), size=count, replace=False)
+        flow = Flow(f"f{i}", float(rng.integers(50, 800)),
+                    tuple(resources[int(j)] for j in chosen))
+        flows.append(flow)
+        start_at = float(rng.uniform(0, 5))
+        sim.schedule(start_at, lambda f=flow: sched.start_flow(f))
+        if rng.random() < 0.2:
+            # Cancel strictly after the start (cancelling an already
+            # completed flow is a no-op, which is fine here).
+            sim.schedule(
+                start_at + float(rng.uniform(0.01, 6)),
+                lambda f=flow: sched.cancel_flow(f),
+            )
+    throttled = resources[0]
+    sim.schedule(3.0, lambda: (throttled.set_capacity(30.0),
+                               sched.capacity_changed(throttled)))
+    sim.run()
+    return [(f.name, f.cancelled, f.completed_at) for f in flows]
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_scheduler_end_to_end_equivalence(seed):
+    """Identical completion timelines under both allocators."""
+    fast = _run_scenario(seed, RateAllocator())
+    oracle = _run_scenario(seed, FromScratchAllocator())
+    for (name, cancelled, done_at), (oname, ocancelled, odone_at) in zip(fast, oracle):
+        assert name == oname
+        assert cancelled == ocancelled
+        if odone_at is None:
+            assert done_at is None
+        else:
+            assert done_at == pytest.approx(odone_at, abs=1e-6)
+
+
+def test_remove_unknown_flow_is_noop():
+    alloc = RateAllocator()
+    flow = StubFlow("ghost", (Resource("r", 10.0),))
+    alloc.remove_flow(flow)  # never added
+    assert len(alloc) == 0
+    assert alloc.recompute() == []
+
+
+def test_double_add_is_idempotent():
+    res = Resource("r", 100.0)
+    alloc = RateAllocator()
+    flow = StubFlow("f", (res,))
+    alloc.add_flow(flow)
+    alloc.add_flow(flow)
+    assert len(alloc) == 1
+    alloc.recompute()
+    assert flow.rate == pytest.approx(100.0)
+
+
+def test_untouched_component_keeps_rates():
+    """Flows outside the dirty component must not be re-rated."""
+    ra, rb = Resource("a", 100.0), Resource("b", 60.0)
+    fa, fb = StubFlow("fa", (ra,)), StubFlow("fb", (rb,))
+    alloc = RateAllocator()
+    alloc.add_flow(fa)
+    alloc.add_flow(fb)
+    alloc.recompute()
+    assert (fa.rate, fb.rate) == (pytest.approx(100.0), pytest.approx(60.0))
+    # Poison fb's rate, then mutate only fa's component: fb must keep the
+    # poisoned value, proving it sat outside the recomputed component.
+    fb.rate = -1.0
+    fa2 = StubFlow("fa2", (ra,))
+    alloc.add_flow(fa2)
+    touched = alloc.recompute()
+    assert set(touched) == {fa, fa2}
+    assert fa.rate == pytest.approx(50.0)
+    assert fa2.rate == pytest.approx(50.0)
+    assert fb.rate == -1.0

@@ -44,6 +44,38 @@ class TestAllocatorEdgeCases:
         allocate_rates(flows)
         assert [f.rate for f in flows] == first
 
+    def test_duplicate_resource_counts_once(self):
+        # Regression: a flow listing the same resource twice used to
+        # subtract its rate twice from that resource's remaining
+        # capacity while the user set deduped it, skewing the shares.
+        r = Resource("r", 100.0)
+        dup = Flow("dup", 10, (r, r))
+        other = Flow("other", 10, (r,))
+        allocate_rates([dup, other])
+        assert dup.rate == pytest.approx(50.0)
+        assert other.rate == pytest.approx(50.0)
+        assert dup.rate + other.rate == pytest.approx(r.capacity)
+
+    def test_duplicate_resource_alone_gets_full_capacity(self):
+        r = Resource("r", 80.0)
+        f = Flow("f", 10, (r, r, r))
+        allocate_rates([f])
+        assert f.rate == pytest.approx(80.0)
+
+    def test_float_drift_never_yields_negative_rate(self):
+        # Many flows over shared resources with awkward capacities force
+        # repeated subtraction; no resulting rate may go negative (the
+        # remaining-capacity clamp).
+        shared = Resource("s", 0.1 + 0.2)  # 0.30000000000000004
+        resources = [shared] + [Resource(f"r{i}", 1e-9 * (i + 1)) for i in range(5)]
+        flows = [
+            Flow(f"f{i}", 1, (shared, resources[1 + i % 5])) for i in range(20)
+        ]
+        allocate_rates(flows)
+        for f in flows:
+            assert f.rate >= 0.0
+        assert sum(f.rate for f in flows) <= shared.capacity * (1 + 1e-9)
+
 
 class TestSchedulerEdgeCases:
     def test_simultaneous_completions(self):

@@ -106,3 +106,44 @@ class TestSimulator:
         event.cancel()
         sim.run()
         assert seen == []
+
+
+class TestStopDuringBoundedRun:
+    """stop() inside run(until=...) leaves the clock at the stopping
+    event — never clamped forward to ``until`` (regression: the
+    drained-queue path used to clamp while the pending-events path did
+    not, so callers saw inconsistent end times)."""
+
+    def test_stop_with_pending_events_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(5.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 2.0
+        assert sim.now == 2.0
+        assert sim.pending_events() == 1
+
+    def test_stop_with_drained_queue_keeps_clock(self):
+        # The stopping event is the last one: queue is empty afterwards,
+        # but a stopped run still must not jump ahead to ``until``.
+        sim = Simulator()
+        sim.schedule(2.0, sim.stop)
+        end = sim.run(until=10.0)
+        assert end == 2.0
+        assert sim.now == 2.0
+
+    def test_unstopped_drained_run_still_clamps(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+
+    def test_run_resumes_after_stop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run(until=10.0)
+        end = sim.run(until=10.0)
+        assert seen == [5.0]
+        assert end == 10.0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.sim import Flow, FlowScheduler, Resource, Simulator, allocate_rates
 
 
@@ -144,6 +145,54 @@ class TestFlowScheduler:
         sched.start_flow(f1)
         sim.run()
         assert f2.completed_at == pytest.approx(10.0)
+
+    def test_cancel_completed_flow_is_full_noop(self):
+        # Regression: cancel used to mark completed flows cancelled and
+        # bump the cancelled counter; now it must leave them untouched.
+        sim, sched = make_env()
+        f = Flow("f", 100, (Resource("r", 100.0),))
+        sched.start_flow(f)
+        sim.run()
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            sched.cancel_flow(f)
+        finally:
+            set_registry(previous)
+        assert f.done and not f.cancelled
+        assert registry.counter("flows.cancelled").value == 0
+
+    def test_double_cancel_counts_once(self):
+        sim, sched = make_env()
+        r = Resource("r", 100.0)
+        f = Flow("f", 1000, (r,))
+        sched.start_flow(f)
+        sim.run(until=1.0)
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            sched.cancel_flow(f)
+            sched.cancel_flow(f)
+        finally:
+            set_registry(previous)
+        assert f.cancelled
+        assert registry.counter("flows.cancelled").value == 1
+
+    def test_cancel_never_started_not_counted(self):
+        # A never-started flow is only marked cancelled (so start_flow
+        # raises later); it was never live, so the counter stays put.
+        sim, sched = make_env()
+        f = Flow("f", 100, (Resource("r", 100.0),))
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            sched.cancel_flow(f)
+        finally:
+            set_registry(previous)
+        assert f.cancelled and not f.done
+        assert registry.counter("flows.cancelled").value == 0
+        with pytest.raises(SimulationError):
+            sched.start_flow(f)
 
     def test_restart_finished_flow_raises(self):
         sim, sched = make_env()

@@ -57,6 +57,98 @@ class TestProportionalGating:
         assert out.completed_at == pytest.approx(11.0)
 
 
+class TestUnequalChainGating:
+    def test_three_hop_unequal_slice_counts(self):
+        # a: 2 slices at 1s each; b: 6 fast slices; c: 3 fast slices.
+        # Fraction gating must compose across both edges: b's first half
+        # needs a's slice 0, its second half all of a; c's slice j needs
+        # ceil((j+1)/3 * 6) slices of b.
+        sim, sched, mgr = make_env()
+        a = Transfer("a", (Resource("ra", 100.0),), 200, 100)
+        b = Transfer("b", (Resource("rb", 10000.0),), 600, 100)
+        c = Transfer("c", (Resource("rc", 10000.0),), 300, 100)
+        b.depends_on(a)
+        c.depends_on(b)
+        for t in (a, b, c):
+            mgr.start(t)
+        sim.run(until=1.5)
+        # Only a's first slice has landed: b capped at half its slices,
+        # c at one third.
+        assert b.completed_slices == 3
+        assert c.completed_slices == 1
+        sim.run()
+        assert a.completed_at == pytest.approx(2.0)
+        assert b.completed_at == pytest.approx(2.03, abs=0.02)
+        assert c.completed_at >= b.completed_at
+        assert c.completed_at == pytest.approx(2.04, abs=0.02)
+
+    def test_wide_fanin_unequal_sizes_gate_last_slice(self):
+        # Combiner with inputs of different slice counts: its final
+        # slice waits for *every* input to be fully delivered.
+        sim, sched, mgr = make_env()
+        coarse = Transfer("coarse", (Resource("rc", 100.0),), 1000, 500)  # 2 slices
+        fine = Transfer("fine", (Resource("rf", 100.0),), 1000, 100)  # 10 slices
+        out = Transfer("out", (Resource("ro", 10000.0),), 400, 100)  # 4 slices
+        out.depends_on(coarse)
+        out.depends_on(fine)
+        for t in (coarse, fine, out):
+            mgr.start(t)
+        sim.run(until=4.9)
+        # coarse slice 0 lands at t=5: out slice 0 (fraction 0.25)
+        # needs ceil(0.25 * 2) = 1 coarse slice, so nothing yet.
+        assert out.completed_slices == 0
+        sim.run()
+        assert out.done
+        assert out.completed_at >= max(coarse.completed_at, fine.completed_at)
+
+
+class TestCancelMidPipeline:
+    def test_cancel_relay_unblocks_dependent_exactly_once(self):
+        # src -> relay -> sink, equal sizes. Cancelling the relay
+        # mid-run must (a) drop its in-flight flow from the scheduler
+        # (no orphan ticking away), (b) stop gating the sink, and
+        # (c) never double-launch a sink slice.
+        sim, sched, mgr = make_env()
+        src = Transfer("src", (Resource("ra", 100.0),), 1000, 100)
+        relay = Transfer("relay", (Resource("rb", 100.0),), 1000, 100)
+        sink = Transfer("sink", (Resource("rc", 100.0),), 1000, 100)
+        relay.depends_on(src)
+        sink.depends_on(relay)
+        for t in (src, relay, sink):
+            mgr.start(t)
+        sink_slices = []
+        sink.on_slice.append(lambda t, i: sink_slices.append(i))
+        orphans = []
+        sim.schedule(5.0, lambda: mgr.cancel(relay))
+        sim.schedule(
+            5.01,
+            lambda: orphans.extend(
+                f.name for f in sched.active if f.name.startswith("relay[")
+            ),
+        )
+        sim.run()
+        assert relay.cancelled and not relay.done
+        assert orphans == []  # the in-flight relay slice was cancelled
+        assert src.done and sink.done
+        # Every sink slice fired exactly once, in order.
+        assert sink_slices == list(range(sink.num_slices))
+        # Ungated sink drains its remaining ~7 slices at 1 s each.
+        assert sink.completed_at == pytest.approx(12.0, abs=1.0)
+
+    def test_cancel_relay_before_dependent_starts(self):
+        sim, sched, mgr = make_env()
+        relay = Transfer("relay", (Resource("ra", 100.0),), 1000, 100)
+        sink = Transfer("sink", (Resource("rb", 100.0),), 500, 100)
+        sink.depends_on(relay)
+        mgr.start(relay)
+        mgr.cancel(relay)  # cancelled before sink is even released
+        mgr.start(sink)
+        sim.run()
+        assert sink.done
+        assert sink.completed_at == pytest.approx(5.0)
+        assert all(not f.name.startswith("relay[") for f in sched.active)
+
+
 class TestRetuneWithoutFinalWrite:
     def test_degraded_read_style_retune(self):
         code = RSCode(4, 2)

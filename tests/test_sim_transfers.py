@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs.tracer import Tracer, use_tracer
 from repro.sim import FlowScheduler, Resource, Simulator, Transfer, TransferManager
 
 
@@ -148,3 +149,104 @@ class TestControl:
         mgr.start(t)
         sim.run()
         assert t.done
+
+
+class TestPauseResumeGuards:
+    """pause/resume act only on live released transfers (regression:
+    they used to flip state and emit trace instants for transfers that
+    were done, cancelled, or never released)."""
+
+    def _instants(self, tracer, name):
+        return [e for e in tracer.instants if e.name == name]
+
+    def test_pause_done_transfer_no_state_no_trace(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 100, 100)
+        mgr.start(t)
+        sim.run()
+        assert t.done
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.pause(t)
+        assert not t.paused
+        assert self._instants(tracer, "transfer.paused") == []
+
+    def test_pause_cancelled_transfer_no_state_no_trace(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 1000, 100)
+        mgr.start(t)
+        sim.run(until=1.0)
+        mgr.cancel(t)
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.pause(t)
+        assert not t.paused
+        assert self._instants(tracer, "transfer.paused") == []
+
+    def test_pause_unreleased_transfer_is_noop(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 100, 100)
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.pause(t)
+        assert not t.paused
+        assert self._instants(tracer, "transfer.paused") == []
+        mgr.start(t)  # unaffected by the earlier bogus pause
+        sim.run()
+        assert t.done
+
+    def test_resume_finished_while_paused_no_trace(self):
+        # The in-flight slice may be the last one: the transfer finishes
+        # while parked; a later resume must not trace or relaunch.
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 200, 100)
+        mgr.start(t)
+        sim.schedule(1.5, lambda: mgr.pause(t))
+        sim.run()
+        assert t.done and t.paused
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.resume(t)
+        assert self._instants(tracer, "transfer.resumed") == []
+
+    def test_resume_cancelled_while_paused_no_trace(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 1000, 100)
+        mgr.start(t)
+        sim.schedule(1.5, lambda: mgr.pause(t))
+        sim.run(until=3.0)
+        mgr.cancel(t)
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.resume(t)
+        assert t.paused  # flag untouched; transfer is dead anyway
+        assert self._instants(tracer, "transfer.resumed") == []
+
+    def test_pause_resume_roundtrip_traces_once_each(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 1000, 100)
+        tracer = Tracer(clock=lambda: sim.now)
+        with use_tracer(tracer):
+            mgr.start(t)
+            sim.schedule(1.5, lambda: mgr.pause(t))
+            sim.schedule(2.0, lambda: mgr.pause(t))  # double pause: one event
+            sim.schedule(4.0, lambda: mgr.resume(t))
+            sim.schedule(4.5, lambda: mgr.resume(t))  # double resume: one event
+            sim.run()
+        assert t.done
+        assert len(self._instants(tracer, "transfer.paused")) == 1
+        assert len(self._instants(tracer, "transfer.resumed")) == 1
+
+    def test_cancel_is_idempotent_and_skips_done(self):
+        sim, sched, mgr = make_env()
+        t = Transfer("t", (Resource("r", 100.0),), 100, 100)
+        mgr.start(t)
+        sim.run()
+        mgr.cancel(t)  # done: no-op
+        assert t.done and not t.cancelled
+        t2 = Transfer("t2", (Resource("r2", 100.0),), 1000, 100)
+        mgr.start(t2)
+        sim.run(until=t.completed_at + 1.0)
+        mgr.cancel(t2)
+        mgr.cancel(t2)  # second cancel: no-op
+        assert t2.cancelled and not t2.done
