@@ -1,0 +1,26 @@
+"""Exp#14: repair completion and tail latency under mid-repair churn."""
+
+from conftest import emit
+
+from repro.experiments.exp14_churn import HEADERS, rows, run_exp14
+
+
+def test_exp14_churn(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_exp14, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(benchmark, "Exp#14: repair under churn (mid-repair crash + straggler)",
+         HEADERS, rows(results))
+    for (algorithm, churn), run in results.items():
+        # Within the code's tolerance nothing may be lost, ever.
+        assert run.lost_chunks == 0, (algorithm, churn)
+        if churn:
+            # The crash adds the dead node's chunks to the batch...
+            assert run.adopted_chunks > 0, algorithm
+            # ...and churn can only extend the repair.
+            assert run.repair_time >= results[(algorithm, False)].repair_time
+    # The full system keeps its edge over the baselines under churn.
+    assert (
+        results[("ChameleonEC", True)].repair_time
+        <= min(results[(a, True)].repair_time for a in ("CR", "PPR", "ECPipe")) * 1.1
+    )

@@ -10,8 +10,8 @@ Shows the coding layer end-to-end for three code families:
 
 import numpy as np
 
-from repro import ButterflyCode, LRCCode, RSCode, make_code
-from repro.experiments import ExperimentConfig, format_table, run_repair_experiment
+from repro import ButterflyCode, LRCCode, RSCode, Testbed, make_code
+from repro.experiments import format_table, run_repair_experiment
 
 
 def correctness_demo() -> None:
@@ -39,8 +39,10 @@ def repair_cost_demo() -> None:
 def throughput_demo(scale: float = 0.05) -> None:
     rows = []
     for spec in ("RS(10,4)", "LRC(10,2,2)", "Butterfly(4,2)"):
-        config = ExperimentConfig.scaled(scale, code=spec)
-        result = run_repair_experiment(config, "ChameleonEC")
+        config = Testbed.builder().scaled(scale).with_code(spec).config()
+        result = run_repair_experiment(
+            config, "ChameleonEC", scenario=Testbed.build(config)
+        )
         rows.append([spec, result.throughput_mbs])
     print()
     print(format_table("ChameleonEC full-node repair", ["code", "MB/s"], rows))

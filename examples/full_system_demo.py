@@ -13,31 +13,28 @@ Exercises the extension surfaces on top of the paper's core:
 import tempfile
 from pathlib import Path
 
-from repro import (
-    MB,
-    BandwidthMonitor,
-    ChameleonRepair,
-    Cluster,
-    FailureInjector,
-    RSCode,
-    place_stripes,
-)
+from repro import MB, Testbed
 from repro.cluster import drop_node_chunks, encode_and_load
-from repro.experiments import run_sim_until
 from repro.repair import DataPlane
-from repro.traffic import FileTrace, KeyRouter, TraceClient, record_trace, ycsb_a
+from repro.traffic import FileTrace, TraceClient, record_trace, ycsb_a
 
 
 def main() -> None:
-    # --- 1. a hierarchical cluster -------------------------------------------
-    code = RSCode(10, 4)
-    cluster = Cluster(
-        num_nodes=20, num_clients=2, racks=4, oversubscription=3.0
+    # --- 1. a hierarchical testbed -------------------------------------------
+    testbed = (
+        Testbed.builder()
+        .with_code("rs-10-4")
+        .with_nodes(20)
+        .with_clients(2)
+        .with_chunks(20)
+        .with_seed(11)
+        .with_options(chunk_mb=16.0, slice_mb=1.0, t_phase=5.0,
+                      racks=4, oversubscription=3.0)
+        .build()
     )
-    store = place_stripes(code, 50, cluster.storage_ids, chunk_size=16 * MB, seed=11)
-    injector = FailureInjector(cluster, store)
+    cluster, store = testbed.cluster, testbed.store
     print(f"cluster: 20 nodes in 4 racks (3x oversubscribed), {len(store)} "
-          f"stripes of {code.name}")
+          f"stripes of {testbed.code.name}")
 
     # --- 2. real payloads ------------------------------------------------------
     chunk_store = encode_and_load(store, payload_size=512, seed=12)
@@ -48,33 +45,26 @@ def main() -> None:
         trace_path = Path(tmp) / "ycsb_a.csv"
         record_trace(ycsb_a(seed=13), 2_000, trace_path)
         print(f"trace: recorded 2000 YCSB-A requests to {trace_path.name}")
-        router = KeyRouter(store, cluster)
         clients = []
-        for i, node in enumerate(cluster.clients):
+        for node in cluster.clients:
             client = TraceClient(
-                cluster, node, FileTrace(trace_path), router,
+                cluster, node, FileTrace(trace_path), testbed.router,
                 num_requests=None, slice_size=1 * MB,
             )
             clients.append(client)
             client.start()
-
-        monitor = BandwidthMonitor(cluster, window=2.0)
-        monitor.start()
-        cluster.sim.run(until=5.0)
+        cluster.sim.run(until=5.0)  # warm the bandwidth monitor
 
         # --- 4. fail, repair, verify -------------------------------------------
-        report = injector.fail_nodes([0])
+        report = testbed.injector.fail_nodes([0])
         lost = drop_node_chunks(chunk_store, store, 0)
         print(f"node 0 failed: {len(report.failed_chunks)} chunks, "
               f"{len(lost)} payloads dropped")
-        chameleon = ChameleonRepair(
-            cluster, store, injector, monitor,
-            chunk_size=16 * MB, slice_size=1 * MB, t_phase=5.0,
-        )
+        chameleon = testbed.make_repairer("ChameleonEC")
         plane = DataPlane(chunk_store, store)
         plane.attach(chameleon)
         chameleon.repair(report.failed_chunks)
-        run_sim_until(cluster, lambda: chameleon.done, step=2.0)
+        testbed.run_until(lambda: chameleon.done, step=2.0)
         for client in clients:
             client.stop()
 

@@ -12,19 +12,23 @@ Usage:
 
 import sys
 
-from repro.experiments import ExperimentConfig, format_table, run_repair_experiment
+from repro import Testbed
+from repro.experiments import format_table, run_repair_experiment
 
-TRACES = ("YCSB-A", "IBM-OS", "Memcached", "Facebook-ETC")
+TRACES = ("ycsb-a", "ibm-os", "memcached", "facebook-etc")
 ALGORITHMS = ("CR", "PPR", "ECPipe", "ChameleonEC")
 
 
 def main(scale: float = 0.06) -> None:
     throughput_rows, p99_rows = [], []
-    for trace in TRACES:
-        config = ExperimentConfig.scaled(scale, trace=trace)
+    for slug in TRACES:
+        config = Testbed.builder().scaled(scale).with_trace(slug).config()
+        trace = config.trace
         tp_row, p99_row = [trace], [trace]
         for algorithm in ALGORITHMS:
-            result = run_repair_experiment(config, algorithm, trace=trace)
+            result = run_repair_experiment(
+                config, algorithm, trace=trace, scenario=Testbed.build(config)
+            )
             tp_row.append(result.throughput_mbs)
             p99_row.append(result.p99_latency * 1000)
         throughput_rows.append(tp_row)

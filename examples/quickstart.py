@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: encode a stripe, lose a node, repair it with ChameleonEC.
 
-Walks the full public API surface in one sitting:
+Walks the stable ``repro`` facade in one sitting:
 
-1. build an RS(10,4)-coded cluster of 20 nodes,
+1. build an RS(10,4)-coded testbed of 20 nodes with the fluent builder,
 2. replay YCSB-A foreground traffic from 4 clients,
 3. fail a node and repair its chunks with ChameleonEC,
 4. verify (over real bytes) that a ChameleonEC plan decodes correctly,
@@ -12,64 +12,51 @@ Walks the full public API surface in one sitting:
 
 import numpy as np
 
-from repro import (
-    MB,
-    BandwidthMonitor,
-    ChameleonRepair,
-    Cluster,
-    FailureInjector,
-    RSCode,
-    execute_plan,
-    place_stripes,
-)
+from repro import Testbed, execute_plan
 from repro.core import TaskDispatcher, build_plan
-from repro.experiments import run_sim_until
-from repro.traffic import KeyRouter, launch_clients, ycsb_a
 
 
 def main() -> None:
-    # --- 1. the cluster and the coded data ---------------------------------
-    code = RSCode(10, 4)
-    cluster = Cluster(num_nodes=20, num_clients=4)
-    store = place_stripes(code, 60, cluster.storage_ids, chunk_size=16 * MB, seed=7)
-    injector = FailureInjector(cluster, store)
-    print(f"cluster: 20 nodes, {len(store)} stripes of {code.name}")
+    # --- 1. the testbed: cluster + coded stripes + monitor ------------------
+    testbed = (
+        Testbed.builder()
+        .with_code("rs-10-4")
+        .with_nodes(20)
+        .with_clients(4)
+        .with_trace("ycsb-a")
+        .with_chunks(20)
+        .with_options(chunk_mb=16.0, slice_mb=1.0, t_phase=5.0)
+        .with_seed(7)
+        .build()
+    )
+    code = testbed.code
+    print(f"cluster: 20 nodes, {len(testbed.store)} stripes of {code.name}")
 
     # --- 2. foreground traffic ---------------------------------------------
-    router = KeyRouter(store, cluster)
-    clients, latency = launch_clients(
-        cluster,
-        lambda i: ycsb_a(seed=100 + i),
-        router,
-        requests_per_client=None,  # run until we stop them
-    )
-    monitor = BandwidthMonitor(cluster, window=2.0)
-    monitor.start()
-    cluster.sim.run(until=5.0)  # warm the bandwidth monitor
+    testbed.start_foreground()
+    testbed.cluster.sim.run(until=5.0)  # warm the bandwidth monitor
 
     # --- 3. fail a node and repair it ---------------------------------------
-    report = injector.fail_nodes([0])
+    report = testbed.fail_nodes(1)
     print(f"node 0 failed: {len(report.failed_chunks)} chunks to repair")
-    chameleon = ChameleonRepair(
-        cluster, store, injector, monitor,
-        chunk_size=16 * MB, slice_size=1 * MB, t_phase=5.0,
-    )
+    chameleon = testbed.make_repairer("ChameleonEC")
     chameleon.repair(report.failed_chunks)
-    run_sim_until(cluster, lambda: chameleon.done, step=2.0)
-    for client in clients:
-        client.stop()
+    testbed.run_until(lambda: chameleon.done, step=2.0)
+    testbed.stop_foreground()
 
     # --- 4. prove a dispatched plan decodes real bytes ----------------------
     rng = np.random.default_rng(42)
     data = [rng.integers(0, 256, 4096, dtype=np.uint8) for _ in range(code.k)]
     stripe_bytes = code.encode(data)
-    dispatcher = TaskDispatcher(injector, monitor, chunk_size=16 * MB)
+    dispatcher = TaskDispatcher(
+        testbed.injector, testbed.monitor, chunk_size=testbed.config.chunk_size
+    )
     dispatcher.begin_phase()
     chunk = report.failed_chunks[0]
     # The chunk was already repaired; rebuild a plan for demonstration by
     # pretending it failed again on its new home.
     dispatch = dispatcher.dispatch_chunk(chunk, code)
-    plan = build_plan(dispatch, code, injector)
+    plan = build_plan(dispatch, code, testbed.injector)
     repaired = execute_plan(
         plan, {s.chunk_index: stripe_bytes[s.chunk_index] for s in plan.sources}
     )
@@ -78,6 +65,7 @@ def main() -> None:
           f"({len(plan.relays())} relays, {len(plan.edges())} transmissions)")
 
     # --- 5. results ----------------------------------------------------------
+    latency = testbed.latency
     print(f"repair throughput : {chameleon.meter.throughput / 1e6:8.1f} MB/s")
     print(f"repair time       : {chameleon.meter.elapsed:8.2f} s "
           f"({chameleon.phase_index} phase(s))")

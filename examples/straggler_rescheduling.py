@@ -15,31 +15,28 @@ monitor sees it and avoids the node) and the hog arriving *mid-repair*
 (only re-scheduling can react).
 """
 
-from repro.experiments import ExperimentConfig
+from repro import Testbed
 from repro.experiments.exp11_breakdown import StragglerLoad
-from repro.experiments.harness import run_sim_until
-from repro.experiments.scenario import Scenario
 
 ALGORITHMS = ("CR", "PPR", "ECPipe", "ETRP", "ChameleonEC")
 
 
 def run_one(algorithm: str, hog_delay: float, scale: float = 0.08) -> str:
-    config = ExperimentConfig.scaled(scale)
-    scenario = Scenario(config)
-    scenario.start_foreground()
-    hog = StragglerLoad(scenario.cluster, node_id=1, threads=24, mode="read")
-    scenario.cluster.sim.run(until=3.0)
+    testbed = Testbed.builder().scaled(scale).build()
+    testbed.start_foreground()
+    hog = StragglerLoad(testbed.cluster, node_id=1, threads=24, mode="read")
+    testbed.cluster.sim.run(until=3.0)
     if hog_delay <= 0:
         hog.start()  # hog active before the repair is even planned
-    scenario.cluster.sim.run(until=6.0)
-    report = scenario.fail_nodes(1)
-    repairer = scenario.make_repairer(algorithm)
+    testbed.cluster.sim.run(until=6.0)
+    report = testbed.fail_nodes(1)
+    repairer = testbed.make_repairer(algorithm)
     repairer.repair(report.failed_chunks)
     if hog_delay > 0:
-        scenario.cluster.sim.schedule(hog_delay, hog.start)
-    run_sim_until(scenario.cluster, lambda: repairer.done, step=0.5)
+        testbed.cluster.sim.schedule(hog_delay, hog.start)
+    testbed.run_until(lambda: repairer.done, step=0.5)
     hog.stop()
-    scenario.stop_foreground()
+    testbed.stop_foreground()
     line = f"  {algorithm:12s} {repairer.meter.throughput / 1e6:7.1f} MB/s"
     if hasattr(repairer, "reorders"):
         line += (

@@ -30,6 +30,7 @@ Quick start::
 """
 
 from repro.analysis import ReliabilityModel, loss_probability_curve
+from repro.api import Testbed, TestbedBuilder
 from repro.cluster import (
     GB,
     KB,
@@ -60,6 +61,17 @@ from repro.errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+)
+from repro.events import HookEmitter
+from repro.experiments.config import ExperimentConfig
+from repro.faults import (
+    BandwidthDegradation,
+    FaultEvent,
+    FaultTimeline,
+    FlowInterruption,
+    NodeCrash,
+    ToleranceExceeded,
+    TransientStraggler,
 )
 from repro.metrics import (
     LatencyRecorder,
@@ -102,6 +114,7 @@ __all__ = [
     "GB",
     "KB",
     "MB",
+    "BandwidthDegradation",
     "BandwidthMonitor",
     "ButterflyCode",
     "ChameleonRepair",
@@ -112,13 +125,19 @@ __all__ = [
     "ConventionalRepair",
     "ECPipe",
     "ErasureCode",
+    "ExperimentConfig",
     "FailureInjector",
     "FailureReport",
+    "FaultEvent",
+    "FaultTimeline",
+    "FlowInterruption",
+    "HookEmitter",
     "KeyRouter",
     "LRCCode",
     "LatencyRecorder",
     "LinkStatsCollector",
     "Node",
+    "NodeCrash",
     "PPR",
     "PlanError",
     "ProgressTracker",
@@ -135,7 +154,11 @@ __all__ = [
     "Simulator",
     "Stripe",
     "StripeStore",
+    "Testbed",
+    "TestbedBuilder",
+    "ToleranceExceeded",
     "TraceClient",
+    "TransientStraggler",
     "TransitioningTrace",
     "execute_plan",
     "gbps",

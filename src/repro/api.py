@@ -1,0 +1,229 @@
+"""Stable public facade: build and drive a testbed in a few lines.
+
+:class:`Testbed` subsumes :class:`repro.experiments.scenario.Scenario`
+(which remains as the internal implementation) and adds fault wiring:
+a :class:`repro.faults.FaultTimeline` installed on a testbed forwards
+the chunks lost in a mid-run crash to every repairer built through
+:meth:`Testbed.make_repairer`, so recovery "just works".
+
+Two construction styles::
+
+    from repro import Testbed, ExperimentConfig
+
+    tb = Testbed.build(ExperimentConfig.scaled(0.05))
+
+    tb = (Testbed.builder()
+          .with_code("rs-6-3")
+          .with_nodes(20)
+          .with_trace("ycsb-a")
+          .build())
+
+Then::
+
+    tb.start_foreground()
+    report = tb.fail_nodes(1)
+    repairer = tb.make_repairer("ChameleonEC")
+    repairer.repair(report.failed_chunks)
+    tb.run_until(lambda: repairer.done)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import MAX_SIM_TIME, run_sim_until
+from repro.experiments.scenario import ALL_ALGORITHMS, Scenario
+from repro.faults.timeline import FaultTimeline
+from repro.traffic.traces import TRACE_FACTORIES
+
+_CODE_FAMILIES = {"rs": "RS", "lrc": "LRC", "butterfly": "Butterfly"}
+
+
+def _normalize_code(spec: str) -> str:
+    """Accept both registry syntax ("RS(6,3)") and slugs ("rs-6-3")."""
+    if "(" in spec:
+        return spec
+    parts = spec.replace("_", "-").split("-")
+    family = _CODE_FAMILIES.get(parts[0].lower())
+    if family is None or len(parts) < 2 or not all(p.isdigit() for p in parts[1:]):
+        raise ReproError(
+            f"cannot parse code spec {spec!r}; use e.g. 'rs-6-3' or 'RS(6,3)'"
+        )
+    return f"{family}({','.join(parts[1:])})"
+
+
+def _normalize_trace(name: str) -> str:
+    """Case-insensitive trace lookup: 'ycsb-a' -> 'YCSB-A'."""
+    by_lower = {key.lower(): key for key in TRACE_FACTORIES}
+    try:
+        return by_lower[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown trace {name!r}; choose from {sorted(TRACE_FACTORIES)}"
+        ) from None
+
+
+class Testbed(Scenario):
+    """One ready-to-run testbed: cluster + stripes + monitor + clients.
+
+    Everything :class:`Scenario` offers, plus fault-timeline wiring and
+    repairer bookkeeping. Prefer this class in new code; ``Scenario``
+    stays importable for the existing experiment harnesses.
+    """
+
+    __test__ = False  # "Test" prefix; keep pytest from collecting this
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        super().__init__(config if config is not None else ExperimentConfig.scaled())
+        #: Every repairer built through :meth:`make_repairer`; crash
+        #: reports from an installed fault timeline fan out to these.
+        self.repairers: list = []
+        self.fault_timeline: FaultTimeline | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: ExperimentConfig | None = None) -> "Testbed":
+        """Build a testbed from a config (``None`` = scaled defaults)."""
+        return cls(config)
+
+    @classmethod
+    def builder(cls) -> "TestbedBuilder":
+        """Start a fluent builder (``.with_code(...)...build()``)."""
+        return TestbedBuilder(cls)
+
+    # -- repair ---------------------------------------------------------------
+
+    def make_repairer(self, name: str, **overrides):
+        """Build a runner/coordinator for the named algorithm.
+
+        The repairer is registered so an installed fault timeline can
+        hand it the extra chunks a later crash produces.
+        """
+        repairer = super().make_repairer(name, **overrides)
+        self.repairers.append(repairer)
+        return repairer
+
+    def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
+        """Advance virtual time until ``predicate()`` holds (or ``limit``)."""
+        return run_sim_until(self.cluster, predicate, step, limit)
+
+    # -- faults ---------------------------------------------------------------
+
+    def install_faults(self, timeline: FaultTimeline) -> FaultTimeline:
+        """Arm ``timeline`` against this testbed, wiring crash recovery.
+
+        Event offsets count from *now*; call this when the phase you
+        want faulted (typically the repair) starts. When a crash kills a
+        node, its chunks are forwarded to every started repairer via
+        ``add_chunks`` so they are re-repaired in the same run.
+        """
+        timeline.on("node_crashed", self._crash_to_repairers)
+        timeline.arm(self.cluster, injector=self.injector)
+        self.fault_timeline = timeline
+        return timeline
+
+    def _crash_to_repairers(self, _timeline, node_id, report, failed_transfers):
+        for repairer in self.repairers:
+            if getattr(repairer, "_started", False):
+                repairer.add_chunks(report.failed_chunks)
+
+
+class TestbedBuilder:
+    """Fluent construction of a :class:`Testbed`.
+
+    Every ``with_*`` method returns the builder; ``build()`` produces
+    the testbed (``config()`` just the :class:`ExperimentConfig`).
+    Unset knobs keep the scaled-run defaults of
+    :meth:`ExperimentConfig.scaled`.
+    """
+
+    __test__ = False  # "Test" prefix; keep pytest from collecting this
+
+    def __init__(self, testbed_cls: type = Testbed) -> None:
+        self._testbed_cls = testbed_cls
+        self._scale: float | None = None
+        self._overrides: dict = {}
+
+    # -- knobs ----------------------------------------------------------------
+
+    def with_code(self, spec: str) -> "TestbedBuilder":
+        """Erasure code, e.g. ``"rs-6-3"``, ``"RS(10,4)"``, ``"lrc-12-2-2"``."""
+        self._overrides["code"] = _normalize_code(spec)
+        return self
+
+    def with_nodes(self, num_nodes: int) -> "TestbedBuilder":
+        """Number of storage nodes."""
+        self._overrides["num_nodes"] = num_nodes
+        return self
+
+    def with_clients(self, num_clients: int) -> "TestbedBuilder":
+        """Number of foreground client nodes."""
+        self._overrides["num_clients"] = num_clients
+        return self
+
+    def with_trace(self, name: str) -> "TestbedBuilder":
+        """Foreground trace, case-insensitive (``"ycsb-a"``, ``"ibm-os"``…)."""
+        self._overrides["trace"] = _normalize_trace(name)
+        return self
+
+    def with_chunks(self, num_chunks: int) -> "TestbedBuilder":
+        """Failed chunks repaired in a full-node repair."""
+        self._overrides["num_chunks"] = num_chunks
+        return self
+
+    def with_seed(self, seed: int) -> "TestbedBuilder":
+        """Placement / trace RNG seed."""
+        self._overrides["seed"] = seed
+        return self
+
+    def with_link(self, gbps: float) -> "TestbedBuilder":
+        """Per-node link bandwidth in Gb/s."""
+        self._overrides["link_gbps"] = gbps
+        return self
+
+    def with_disk(
+        self,
+        mbs: float | None = None,
+        *,
+        read_mbs: float | None = None,
+        write_mbs: float | None = None,
+    ) -> "TestbedBuilder":
+        """Disk bandwidth in MB/s; read/write sides may differ."""
+        if mbs is not None:
+            self._overrides["disk_mbs"] = mbs
+        if read_mbs is not None:
+            self._overrides["disk_read_mbs"] = read_mbs
+        if write_mbs is not None:
+            self._overrides["disk_write_mbs"] = write_mbs
+        return self
+
+    def scaled(self, scale: float) -> "TestbedBuilder":
+        """Proportionally shrink the run (see :meth:`ExperimentConfig.scaled`)."""
+        self._scale = scale
+        return self
+
+    def with_options(self, **kwargs) -> "TestbedBuilder":
+        """Escape hatch: set any :class:`ExperimentConfig` field directly."""
+        self._overrides.update(kwargs)
+        return self
+
+    # -- products -------------------------------------------------------------
+
+    def config(self) -> ExperimentConfig:
+        """The accumulated configuration."""
+        if self._scale is not None:
+            return ExperimentConfig.scaled(self._scale, **self._overrides)
+        return ExperimentConfig.scaled(**self._overrides)
+
+    def build(self) -> Testbed:
+        """Materialise the testbed."""
+        return self._testbed_cls(self.config())
+
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "ExperimentConfig",
+    "Testbed",
+    "TestbedBuilder",
+]

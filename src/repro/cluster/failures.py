@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 
 
 @dataclass
@@ -38,6 +38,35 @@ class FailureInjector:
             self.cluster.fail_node(node_id)
             chunks.extend(self.store.chunks_on_node(node_id))
         return FailureReport(failed_nodes=list(node_ids), failed_chunks=chunks)
+
+    def crash_node(self, node_id: int) -> FailureReport:
+        """Kill one node *mid-run*, without the up-front tolerance gate.
+
+        :meth:`fail_nodes` models the controlled start-of-experiment
+        failure and refuses to exceed the code's tolerance; a runtime
+        crash (injected by :class:`repro.faults.FaultTimeline`) has no
+        such luxury — the node is dead whether or not the data survives.
+        Callers check :meth:`is_repairable` per chunk and report a
+        ``ToleranceExceeded`` outcome for the unrecoverable ones.
+
+        Idempotent: crashing an already-dead node reports nothing.
+        """
+        if not self.cluster.node(node_id).alive:
+            return FailureReport(failed_nodes=[], failed_chunks=[])
+        self.cluster.fail_node(node_id)
+        return FailureReport(
+            failed_nodes=[node_id],
+            failed_chunks=list(self.store.chunks_on_node(node_id)),
+        )
+
+    def is_repairable(self, chunk: ChunkId) -> bool:
+        """True when the chunk's stripe still has a usable repair equation."""
+        survivors = self.surviving_sources(chunk)
+        try:
+            self.store.code.repair_equation(chunk.index, set(survivors))
+        except ReproError:
+            return False
+        return True
 
     def surviving_sources(self, chunk: ChunkId) -> dict[int, int]:
         """Surviving chunk-index -> node-id for the chunk's stripe."""

@@ -199,12 +199,19 @@ class Cluster:
             changed.append(node.downlink)
         self.flows.capacity_changed(*changed)
 
-    def set_disk_bandwidth(self, disk_bw: float) -> None:
-        """Throttle every storage node's disk (storage-bottleneck experiments)."""
+    def set_disk_bandwidth(
+        self, disk_bw: float, write_bw: float | None = None
+    ) -> None:
+        """Throttle every storage node's disk (storage-bottleneck experiments).
+
+        ``write_bw`` sets the write side separately (asymmetric devices:
+        SSD reads typically outpace writes); omitted, both sides get
+        ``disk_bw``.
+        """
         changed = []
         for node in self.storage_nodes:
             node.disk_read.set_capacity(disk_bw)
-            node.disk_write.set_capacity(disk_bw)
+            node.disk_write.set_capacity(disk_bw if write_bw is None else write_bw)
             changed.append(node.disk_read)
             changed.append(node.disk_write)
         self.flows.capacity_changed(*changed)

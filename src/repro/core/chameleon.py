@@ -24,6 +24,8 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
 from repro.errors import SchedulingError
+from repro.events import HookEmitter, deprecated_callback
+from repro.faults.outcomes import ToleranceExceeded
 from repro.metrics.throughput import RepairThroughputMeter
 from repro.monitor.bandwidth import BandwidthMonitor
 from repro.monitor.progress import ProgressTracker, TrackedTask
@@ -36,10 +38,26 @@ from repro.core.planner import build_plan
 MULTI_NODE_POLICIES = ("sequential", "priority", "fastest")
 
 
-class ChameleonRepair:
-    """Coordinator driving low-interference repair of a chunk batch."""
+class ChameleonRepair(HookEmitter):
+    """Coordinator driving low-interference repair of a chunk batch.
+
+    Events (see :class:`repro.events.HookEmitter`): ``all_done``,
+    ``chunk_repaired``, ``chunk_failed``, ``retry``, ``chunk_lost``,
+    ``tolerance_exceeded``, ``chunks_added``. Every callback receives the
+    coordinator as its first positional argument.
+    """
 
     name = "ChameleonEC"
+
+    HOOK_EVENTS = (
+        "all_done",
+        "chunk_repaired",
+        "chunk_failed",
+        "retry",
+        "chunk_lost",
+        "tolerance_exceeded",
+        "chunks_added",
+    )
 
     def __init__(
         self,
@@ -59,6 +77,9 @@ class ChameleonRepair:
         multi_node_policy: str = "priority",
         final_write: bool = True,
         max_inflight: int = 8,
+        max_retries: int = 3,
+        retry_backoff: float = 0.5,
+        chunk_timeout: float | None = None,
         on_all_done: Callable[["ChameleonRepair"], None] | None = None,
     ) -> None:
         if t_phase <= 0:
@@ -83,7 +104,16 @@ class ChameleonRepair:
         if max_inflight < 1:
             raise SchedulingError("max_inflight must be at least 1")
         self.max_inflight = max_inflight
-        self.on_all_done = on_all_done
+        if max_retries < 0:
+            raise SchedulingError("max_retries cannot be negative")
+        if retry_backoff <= 0:
+            raise SchedulingError("retry_backoff must be positive")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise SchedulingError("chunk_timeout must be positive")
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.chunk_timeout = chunk_timeout
+        deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.dispatcher = TaskDispatcher(
             injector, monitor, chunk_size=chunk_size, io_aware=io_aware
         )
@@ -95,6 +125,11 @@ class ChameleonRepair:
         self.pending: list[ChunkId] = []
         self.in_flight: dict[ChunkId, PlanInstance] = {}
         self.completed: list[ChunkId] = []
+        self.lost: list[ChunkId] = []
+        self.retries = 0
+        self.tolerance_exceeded: ToleranceExceeded | None = None
+        self._attempts: dict[ChunkId, int] = {}
+        self._retry_wait: set[ChunkId] = set()
         self._stripes_busy: set[int] = set()
         self._paused: list[PlanInstance] = []
         self._started = False
@@ -127,6 +162,40 @@ class ChameleonRepair:
             self._finish()
             return
         self._start_phase()
+
+    def add_chunks(self, chunks: list[ChunkId]) -> list[ChunkId]:
+        """Adopt newly failed chunks mid-run (a crash created more work).
+
+        Chunks already pending, in flight, awaiting a retry, or written
+        off as lost are skipped; a chunk repaired earlier onto the crashed
+        node returns from ``completed`` to the work queue. If the batch
+        had already finished, the phase machinery restarts. Returns the
+        chunks actually adopted.
+        """
+        if not self._started:
+            raise SchedulingError("coordinator not started; pass chunks to repair()")
+        busy = (
+            set(self.pending)
+            | set(self.in_flight)
+            | self._retry_wait
+            | set(self.lost)
+        )
+        adopted = [c for c in chunks if c not in busy]
+        if not adopted:
+            return []
+        for chunk in adopted:
+            if chunk in self.completed:
+                self.completed.remove(chunk)
+            self._replanned.discard(chunk)
+        self.pending = self._order_chunks(self.pending + adopted)
+        self.emit("chunks_added", self, chunks=list(adopted))
+        if self._finished:
+            self._finished = False
+            self.meter.finished_at = None
+            self._start_phase()
+        else:
+            self._admit_chunks()
+        return adopted
 
     # -- chunk ordering (Section III-D) -------------------------------------------
 
@@ -194,6 +263,11 @@ class ChameleonRepair:
             if chunk.stripe in self._stripes_busy:
                 remaining.append(chunk)
                 continue
+            if not self.injector.is_repairable(chunk):
+                # Crashes took more of this stripe than the code
+                # tolerates: re-queueing would spin forever.
+                self._mark_lost(chunk)
+                continue
             snap = self.dispatcher.load.snapshot()
             try:
                 dispatch = self.dispatcher.dispatch_chunk(chunk, self.store.code)
@@ -212,11 +286,13 @@ class ChameleonRepair:
             self._launch(dispatch)
             self._phase_admitted += 1
         self.pending = remaining + self.pending
+        self._maybe_finish()
 
     def _launch(self, dispatch) -> None:
         plan = build_plan(dispatch, self.store.code, self.injector)
         self.store.relocate(dispatch.chunk, plan.destination)
         self._stripes_busy.add(dispatch.chunk.stripe)
+        self._attempts[dispatch.chunk] = self._attempts.get(dispatch.chunk, 0) + 1
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(
@@ -228,6 +304,7 @@ class ChameleonRepair:
                 uploaders=dispatch.participants,
                 estimated_time=dispatch.estimated_time,
                 phase=self.phase_index,
+                attempt=self._attempts[dispatch.chunk],
             )
         instance = PlanInstance(
             self.cluster,
@@ -236,14 +313,115 @@ class ChameleonRepair:
             slice_size=self.slice_size,
             final_write=self.final_write,
             on_complete=lambda inst, c=dispatch.chunk: self._chunk_done(c, inst),
+            on_failed=lambda inst, reason, c=dispatch.chunk: self._instance_failed(
+                c, inst, reason
+            ),
         )
         self.in_flight[dispatch.chunk] = instance
         instance.start()
+        if self.chunk_timeout is not None:
+            self.cluster.sim.schedule(
+                self.chunk_timeout, self._check_timeout, dispatch.chunk, instance
+            )
         expectation = self.cluster.sim.now + max(
             dispatch.estimated_time, self.check_interval
         )
         for transfer in instance.uploads.values():
             self.tracker.track(transfer, expectation, chunk_key=instance)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _check_timeout(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self.in_flight.get(chunk) is not instance or instance.done:
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "repair.timeout",
+                track="scheduler",
+                chunk=str(chunk),
+                timeout=self.chunk_timeout,
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.timeouts").inc()
+        instance.fail("chunk repair timed out")
+
+    def _instance_failed(
+        self, chunk: ChunkId, instance: PlanInstance, reason: str
+    ) -> None:
+        if self.in_flight.get(chunk) is not instance:
+            return
+        self.in_flight.pop(chunk, None)
+        self._stripes_busy.discard(chunk.stripe)
+        if instance in self._paused:
+            self._paused.remove(instance)
+        self._replanned.discard(chunk)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.failures").inc()
+        self.emit("chunk_failed", self, chunk=chunk, reason=reason)
+        if not self.injector.is_repairable(chunk):
+            self._mark_lost(chunk)
+        elif self._attempts.get(chunk, 1) > self.max_retries:
+            if registry.enabled:
+                registry.counter("repair.retry.exhausted").inc()
+            self._mark_lost(chunk)
+        else:
+            delay = self.retry_backoff * 2 ** (self._attempts.get(chunk, 1) - 1)
+            self._retry_wait.add(chunk)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "repair.retry",
+                    track="scheduler",
+                    chunk=str(chunk),
+                    reason=reason,
+                    attempt=self._attempts.get(chunk, 1),
+                    backoff=delay,
+                )
+            self.cluster.sim.schedule(delay, self._retry, chunk)
+        self._admit_chunks()
+
+    def _retry(self, chunk: ChunkId) -> None:
+        if chunk not in self._retry_wait:
+            return
+        self._retry_wait.discard(chunk)
+        self.retries += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.attempts").inc()
+        self.emit("retry", self, chunk=chunk, attempt=self._attempts.get(chunk, 0))
+        self.pending.insert(0, chunk)
+        self._admit_chunks()
+
+    def _mark_lost(self, chunk: ChunkId) -> None:
+        self.lost.append(chunk)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.chunks_lost").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("repair.chunk_lost", track="scheduler", chunk=str(chunk))
+        self.emit("chunk_lost", self, chunk=chunk)
+        first = self.tolerance_exceeded is None
+        self.tolerance_exceeded = ToleranceExceeded(
+            failed_nodes=tuple(sorted(self.cluster.failed_node_ids())),
+            lost_chunks=tuple(self.lost),
+            at=self.cluster.sim.now,
+        )
+        if first:
+            self.emit("tolerance_exceeded", self, outcome=self.tolerance_exceeded)
+
+    def _maybe_finish(self) -> None:
+        if (
+            self._started
+            and not self._finished
+            and not self.pending
+            and not self.in_flight
+            and not self._retry_wait
+        ):
+            self._finish()
 
     def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
         self.in_flight.pop(chunk, None)
@@ -254,11 +432,12 @@ class ChameleonRepair:
         self.meter.record_repair(self.cluster.sim.now, self.chunk_size)
         for callback in self.on_chunk_repaired:
             callback(chunk, instance.plan)
-        if not self.pending and not self.in_flight:
-            self._finish()
-        elif self.pending:
+        self.emit("chunk_repaired", self, chunk=chunk, plan=instance.plan)
+        if self.pending:
             # A slot freed up: keep filling the current phase.
             self._admit_chunks()
+        else:
+            self._maybe_finish()
 
     def _end_phase(self) -> None:
         if self._finished:
@@ -295,8 +474,7 @@ class ChameleonRepair:
             registry.counter("chameleon.retunes").inc(self.retunes)
             registry.counter("chameleon.reorders").inc(self.reorders)
             registry.counter("chameleon.replans").inc(self.replans)
-        if self.on_all_done is not None:
-            self.on_all_done(self)
+        self.emit("all_done", self)
 
     # -- straggler-aware re-scheduling (Section III-C) -------------------------------
 

@@ -1,0 +1,97 @@
+"""A minimal event-hook protocol shared across the package.
+
+Historically every component grew its own ad-hoc callback kwarg
+(``RepairRunner(on_all_done=...)``, ``TraceClient(on_done=...)``) plus
+bare callback lists (``on_chunk_repaired``). :class:`HookEmitter` unifies
+them: any component that mixes it in exposes ``on(event, callback)`` and
+fires ``emit(event, **payload)``; the repair runners, the ChameleonEC
+coordinator, trace clients, and the fault timeline all share it.
+
+Conventions:
+
+* event names are lower_snake strings (``"all_done"``, ``"node_crashed"``);
+* the emitting object is always passed as the first positional argument,
+  so one callback can serve several emitters;
+* callbacks registered while an event is being emitted do not receive
+  that emission (the subscriber list is snapshotted).
+
+The legacy constructor kwargs remain as thin deprecated shims that
+forward to :meth:`HookEmitter.on` (see :func:`deprecated_callback`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import defaultdict
+from typing import Any, Callable
+
+Hook = Callable[..., None]
+
+
+class HookEmitter:
+    """Mixin providing ``on(event, cb)`` registration and ``emit``.
+
+    Subclasses may declare ``HOOK_EVENTS`` (an iterable of event names);
+    when present, registering for an unknown event raises ``ValueError``
+    immediately — a misspelled event name fails at subscription time, not
+    by silently never firing.
+    """
+
+    HOOK_EVENTS: tuple[str, ...] | None = None
+
+    def on(self, event: str, callback: Hook) -> "HookEmitter":
+        """Subscribe ``callback`` to ``event``; returns self for chaining."""
+        if self.HOOK_EVENTS is not None and event not in self.HOOK_EVENTS:
+            raise ValueError(
+                f"unknown event {event!r} for {type(self).__name__}; "
+                f"known events: {sorted(self.HOOK_EVENTS)}"
+            )
+        self._hooks()[event].append(callback)
+        return self
+
+    def off(self, event: str, callback: Hook) -> None:
+        """Remove one subscription (no-op when absent)."""
+        callbacks = self._hooks().get(event)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def emit(self, event: str, /, *args: Any, **payload: Any) -> None:
+        """Fire ``event``: every subscriber runs with (*args, **payload).
+
+        ``event`` is positional-only so payloads may carry an ``event=``
+        keyword (e.g. the fault timeline attaching the triggering event).
+        """
+        callbacks = self._hooks().get(event)
+        if not callbacks:
+            return
+        for callback in list(callbacks):
+            callback(*args, **payload)
+
+    def _hooks(self) -> dict[str, list[Hook]]:
+        hooks = getattr(self, "_hook_subscribers", None)
+        if hooks is None:
+            hooks = defaultdict(list)
+            self._hook_subscribers = hooks
+        return hooks
+
+
+def deprecated_callback(
+    emitter: HookEmitter,
+    kwarg_name: str,
+    event: str,
+    callback: Hook | None,
+) -> None:
+    """Register a legacy callback kwarg as a hook, with a deprecation warning.
+
+    ``None`` (the kwarg's default) registers nothing and warns nothing, so
+    only code actually passing the old kwarg sees the warning.
+    """
+    if callback is None:
+        return
+    warnings.warn(
+        f"the {kwarg_name!r} keyword is deprecated; "
+        f"use .on({event!r}, callback) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    emitter.on(event, callback)

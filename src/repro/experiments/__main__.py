@@ -135,6 +135,14 @@ def _exp13(scale, seed):
              ["link bw", *ALGORITHMS], rows(results))]
 
 
+def _exp14(scale, seed):
+    from repro.experiments.exp14_churn import HEADERS, rows, run_exp14
+
+    results = run_exp14(scale=scale, seed=seed)
+    return [("Exp#14: repair under churn (mid-repair crash + straggler)",
+             HEADERS, rows(results))]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -173,7 +181,7 @@ EXPERIMENTS = {
     "exp01": _exp01, "exp02": _exp02, "exp03": _exp03, "exp04": _exp04,
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
-    "exp13": _exp13,
+    "exp13": _exp13, "exp14": _exp14,
 }
 
 

@@ -39,8 +39,8 @@ class Scenario:
             num_nodes=config.num_nodes,
             num_clients=config.num_clients,
             link_bw=config.link_bw,
-            disk_read_bw=config.disk_bw,
-            disk_write_bw=config.disk_bw,
+            disk_read_bw=config.disk_read_bw,
+            disk_write_bw=config.disk_write_bw,
             racks=config.racks,
             oversubscription=config.oversubscription,
         )

@@ -1,0 +1,41 @@
+"""Runtime fault injection and recovery (``repro.faults``).
+
+The paper's central claim is adaptivity: ChameleonEC re-tunes repair
+plans when node conditions change *mid-repair* (Section III-C, Exp#4,
+Exp#6). This subsystem makes such churn injectable and deterministic:
+
+* :class:`FaultTimeline` — a seedable schedule of fault events (node
+  crashes, disk/NIC degradation with recovery, transient stragglers,
+  single-flow interruptions) executed against the simulator's virtual
+  clock;
+* :class:`ToleranceExceeded` — the graceful outcome reported when a
+  crash exhausts the erasure code's fault tolerance (instead of an
+  unhandled exception mid-simulation).
+
+Recovery itself lives where the scheduling decisions are made:
+:class:`repro.repair.runner.RepairRunner` and
+:class:`repro.core.chameleon.ChameleonRepair` retry failed chunk repairs
+with backoff and re-plan around newly dead or degraded helpers. Every
+fault and every retry lands in the Chrome trace and the ``faults.*`` /
+``repair.retry.*`` metrics.
+"""
+
+from repro.faults.outcomes import ToleranceExceeded
+from repro.faults.timeline import (
+    BandwidthDegradation,
+    FaultEvent,
+    FaultTimeline,
+    FlowInterruption,
+    NodeCrash,
+    TransientStraggler,
+)
+
+__all__ = [
+    "BandwidthDegradation",
+    "FaultEvent",
+    "FaultTimeline",
+    "FlowInterruption",
+    "NodeCrash",
+    "ToleranceExceeded",
+    "TransientStraggler",
+]

@@ -1,0 +1,29 @@
+"""Terminal repair outcomes under faults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.stripes import ChunkId
+
+
+@dataclass
+class ToleranceExceeded:
+    """A crash pushed some stripes beyond the code's fault tolerance.
+
+    Reported by the repair drivers instead of raising mid-simulation:
+    the run completes, the repairable chunks are repaired, and the lost
+    ones are accounted for here. ``bool(outcome)`` is truthy, so
+    ``if runner.tolerance_exceeded:`` reads naturally.
+    """
+
+    failed_nodes: tuple[int, ...]
+    lost_chunks: tuple[ChunkId, ...] = field(default_factory=tuple)
+    at: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"tolerance exceeded at t={self.at:.2f}s: "
+            f"{len(self.lost_chunks)} chunk(s) unrecoverable after "
+            f"node failures {sorted(self.failed_nodes)}"
+        )

@@ -1,0 +1,433 @@
+"""A deterministic, seedable schedule of runtime faults.
+
+A :class:`FaultTimeline` is built up front (explicitly, event by event,
+or via the seeded :meth:`FaultTimeline.churn` generator) and then
+*armed* against a cluster: every event is scheduled on the simulator at
+``arm-time + event.at`` seconds of virtual time. Event times are
+relative offsets so the same timeline can be armed "when the repair
+starts" without knowing that absolute timestamp in advance.
+
+Event kinds:
+
+* :class:`NodeCrash` — the node dies mid-run: all live repair transfers
+  crossing any of its resources fail (their owners are notified and
+  retry), and the node's chunks become new repair targets;
+* :class:`BandwidthDegradation` — a node's disk/NIC capacity drops to a
+  fraction for a duration, then recovers (ageing disks, throttled NICs);
+* :class:`TransientStraggler` — a degradation with straggler semantics:
+  onset + duration, default severity deep enough to trip the
+  coordinator's straggler detection;
+* :class:`FlowInterruption` — one (or a few) in-flight repair transfers
+  are killed outright (a TCP reset, an I/O error on a source).
+
+Overlapping degradations compose multiplicatively and restore exactly:
+the timeline tracks each resource's base capacity and the stack of
+active multipliers, so recovery never clobbers a concurrent fault.
+
+Determinism: two timelines built with the same seed and the same calls
+produce identical event sequences, and — because execution draws only on
+the timeline's own RNG in virtual-time order — identical injections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.failures import FailureInjector, FailureReport
+from repro.cluster.topology import Cluster
+from repro.errors import SimulationError
+from repro.events import HookEmitter
+from repro.metrics.linkstats import REPAIR_TAG
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.sim.resources import Resource
+
+#: Resource kinds a degradation may target.
+RESOURCE_KINDS = ("uplink", "downlink", "disk_read", "disk_write")
+
+#: Never throttle a resource below this fraction of its base capacity
+#: (capacities must stay positive and estimates finite).
+_MIN_CAPACITY_FRACTION = 1e-3
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault event; ``at`` is seconds after the timeline is armed."""
+
+    at: float
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Node ``node_id`` dies ``at`` seconds after arming."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation(FaultEvent):
+    """Capacity of the node's ``resources`` drops to ``factor`` for ``duration``."""
+
+    node_id: int
+    factor: float
+    duration: float
+    resources: tuple[str, ...] = ("uplink", "downlink")
+
+
+@dataclass(frozen=True)
+class TransientStraggler(FaultEvent):
+    """The node straggles (links at ``severity`` of capacity) for ``duration``."""
+
+    node_id: int
+    duration: float
+    severity: float = 0.1
+
+
+@dataclass(frozen=True)
+class FlowInterruption(FaultEvent):
+    """Kill ``count`` in-flight repair transfers (seeded-random victims)."""
+
+    count: int = 1
+
+
+@dataclass
+class _Throttle:
+    """Bookkeeping for one resource under one or more active faults."""
+
+    base_capacity: float
+    multipliers: list[float] = field(default_factory=list)
+
+    def effective(self) -> float:
+        capacity = self.base_capacity
+        for m in self.multipliers:
+            capacity *= m
+        return max(capacity, self.base_capacity * _MIN_CAPACITY_FRACTION)
+
+
+class FaultTimeline(HookEmitter):
+    """Seedable fault schedule, armed once against a cluster."""
+
+    HOOK_EVENTS = (
+        "fault",
+        "node_crashed",
+        "degraded",
+        "recovered",
+        "flow_interrupted",
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.events: list[FaultEvent] = []
+        self.injected: list[FaultEvent] = []
+        self.cluster: Cluster | None = None
+        self.injector: FailureInjector | None = None
+        self._armed = False
+        self._throttles: dict[str, _Throttle] = {}
+
+    # -- building the schedule -------------------------------------------------
+
+    def crash(self, at: float, node_id: int) -> "FaultTimeline":
+        """Schedule a node crash."""
+        self._add(NodeCrash(at=self._check_at(at), node_id=node_id))
+        return self
+
+    def degrade(
+        self,
+        at: float,
+        node_id: int,
+        *,
+        factor: float,
+        duration: float,
+        resources: tuple[str, ...] = ("uplink", "downlink"),
+    ) -> "FaultTimeline":
+        """Schedule a bandwidth degradation with recovery after ``duration``."""
+        if not 0 < factor <= 1:
+            raise SimulationError("degradation factor must lie in (0, 1]")
+        if duration <= 0:
+            raise SimulationError("degradation duration must be positive")
+        unknown = set(resources) - set(RESOURCE_KINDS)
+        if unknown:
+            raise SimulationError(
+                f"unknown resource kind(s) {sorted(unknown)}; "
+                f"choose from {RESOURCE_KINDS}"
+            )
+        self._add(
+            BandwidthDegradation(
+                at=self._check_at(at),
+                node_id=node_id,
+                factor=factor,
+                duration=duration,
+                resources=tuple(resources),
+            )
+        )
+        return self
+
+    def straggler(
+        self, at: float, node_id: int, *, duration: float, severity: float = 0.1
+    ) -> "FaultTimeline":
+        """Schedule a transient straggler (onset ``at``, given ``duration``)."""
+        if not 0 < severity <= 1:
+            raise SimulationError("straggler severity must lie in (0, 1]")
+        if duration <= 0:
+            raise SimulationError("straggler duration must be positive")
+        self._add(
+            TransientStraggler(
+                at=self._check_at(at),
+                node_id=node_id,
+                duration=duration,
+                severity=severity,
+            )
+        )
+        return self
+
+    def interrupt_flow(self, at: float, count: int = 1) -> "FaultTimeline":
+        """Schedule the interruption of ``count`` in-flight repair transfers."""
+        if count < 1:
+            raise SimulationError("must interrupt at least one flow")
+        self._add(FlowInterruption(at=self._check_at(at), count=count))
+        return self
+
+    def churn(
+        self,
+        *,
+        nodes: list[int],
+        horizon: float,
+        crashes: int = 0,
+        stragglers: int = 0,
+        degradations: int = 0,
+        interruptions: int = 0,
+        straggler_duration: float = 3.0,
+        degradation_factor: float = 0.3,
+    ) -> "FaultTimeline":
+        """Generate a random-but-seeded mix of events over ``[0, horizon)``.
+
+        Crash targets are drawn without replacement (a node dies once);
+        everything else samples ``nodes`` independently. Two timelines
+        with equal seeds and equal ``churn`` calls build identical event
+        sequences.
+        """
+        if horizon <= 0:
+            raise SimulationError("churn horizon must be positive")
+        if not nodes:
+            raise SimulationError("churn needs candidate nodes")
+        if crashes > len(nodes):
+            raise SimulationError("cannot crash more nodes than candidates")
+        rng = self.rng
+        crash_targets = rng.choice(np.asarray(nodes), size=crashes, replace=False)
+        for node_id in crash_targets:
+            self.crash(float(rng.uniform(0, horizon)), int(node_id))
+        for _ in range(stragglers):
+            self.straggler(
+                float(rng.uniform(0, horizon)),
+                int(rng.choice(np.asarray(nodes))),
+                duration=straggler_duration,
+                severity=float(rng.uniform(0.05, 0.2)),
+            )
+        for _ in range(degradations):
+            self.degrade(
+                float(rng.uniform(0, horizon)),
+                int(rng.choice(np.asarray(nodes))),
+                factor=degradation_factor,
+                duration=float(rng.uniform(1.0, horizon / 2)),
+            )
+        for _ in range(interruptions):
+            self.interrupt_flow(float(rng.uniform(0, horizon)))
+        return self
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """The schedule in injection order (stable for equal timestamps)."""
+        return sorted(self.events, key=lambda e: e.at)
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, cluster: Cluster, injector: FailureInjector | None = None) -> None:
+        """Schedule every event at ``cluster.sim.now + event.at``.
+
+        ``injector`` is required when the schedule contains crashes (a
+        crash must know which chunks the dead node held).
+        """
+        if self._armed:
+            raise SimulationError("fault timeline already armed")
+        if injector is None and any(isinstance(e, NodeCrash) for e in self.events):
+            raise SimulationError("crash events need a FailureInjector")
+        self._armed = True
+        self.cluster = cluster
+        self.injector = injector
+        base = cluster.sim.now
+        for event in self.sorted_events():
+            cluster.sim.call_at(base + event.at, self._execute, event)
+
+    @property
+    def armed(self) -> bool:
+        """True once :meth:`arm` ran."""
+        return self._armed
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, event: FaultEvent) -> None:
+        assert self.cluster is not None
+        self.injected.append(event)
+        if isinstance(event, NodeCrash):
+            self._run_crash(event)
+        elif isinstance(event, TransientStraggler):
+            self._run_throttle(
+                event.node_id,
+                ("uplink", "downlink"),
+                event.severity,
+                event.duration,
+                kind="straggler",
+            )
+        elif isinstance(event, BandwidthDegradation):
+            self._run_throttle(
+                event.node_id,
+                event.resources,
+                event.factor,
+                event.duration,
+                kind="degradation",
+            )
+        elif isinstance(event, FlowInterruption):
+            self._run_interruption(event)
+        else:  # pragma: no cover - the event set is closed
+            raise SimulationError(f"unknown fault event {event!r}")
+
+    def _run_crash(self, event: NodeCrash) -> None:
+        assert self.cluster is not None and self.injector is not None
+        node = self.cluster.node(event.node_id)
+        if not node.alive:
+            return
+        report: FailureReport = self.injector.crash_node(event.node_id)
+        # Every in-flight repair movement touching the dead node is lost;
+        # foreground service continues (degraded reads keep serving).
+        victims = self.cluster.transfers.fail_crossing(
+            node.all_resources(),
+            f"node {event.node_id} crashed",
+            tag=REPAIR_TAG,
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.crash",
+                track="faults",
+                node=event.node_id,
+                failed_chunks=len(report.failed_chunks),
+                failed_transfers=len(victims),
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.crashes").inc()
+            registry.counter("faults.transfers_killed").inc(len(victims))
+        self.emit("fault", self, event=event)
+        self.emit(
+            "node_crashed",
+            self,
+            node_id=event.node_id,
+            report=report,
+            failed_transfers=victims,
+        )
+
+    def _run_throttle(
+        self,
+        node_id: int,
+        resources: tuple[str, ...],
+        factor: float,
+        duration: float,
+        *,
+        kind: str,
+    ) -> None:
+        assert self.cluster is not None
+        node = self.cluster.node(node_id)
+        targets = [getattr(node, name) for name in resources]
+        for res in targets:
+            throttle = self._throttles.get(res.name)
+            if throttle is None:
+                throttle = self._throttles[res.name] = _Throttle(res.capacity)
+            throttle.multipliers.append(factor)
+            res.set_capacity(throttle.effective())
+        self.cluster.flows.capacity_changed(*targets)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"fault.{kind}",
+                track="faults",
+                node=node_id,
+                factor=factor,
+                duration=duration,
+                resources=list(resources),
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(f"faults.{kind}s").inc()
+        self.emit("fault", self, event=None, kind=kind, node_id=node_id)
+        self.emit(
+            "degraded", self, node_id=node_id, kind=kind, factor=factor
+        )
+        self.cluster.sim.schedule(
+            duration, self._recover, node_id, tuple(resources), factor, kind
+        )
+
+    def _recover(
+        self,
+        node_id: int,
+        resources: tuple[str, ...],
+        factor: float,
+        kind: str,
+    ) -> None:
+        assert self.cluster is not None
+        node = self.cluster.node(node_id)
+        targets = [getattr(node, name) for name in resources]
+        for res in targets:
+            throttle = self._throttles.get(res.name)
+            if throttle is None:  # pragma: no cover - recovery implies a throttle
+                continue
+            if factor in throttle.multipliers:
+                throttle.multipliers.remove(factor)
+            res.set_capacity(throttle.effective())
+        self.cluster.flows.capacity_changed(*targets)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"fault.{kind}.recovered", track="faults", node=node_id
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.recoveries").inc()
+        self.emit("recovered", self, node_id=node_id, kind=kind)
+
+    def _run_interruption(self, event: FlowInterruption) -> None:
+        assert self.cluster is not None
+        live = self.cluster.transfers.live_transfers(tag=REPAIR_TAG)
+        if not live:
+            return
+        count = min(event.count, len(live))
+        picks = self.rng.choice(len(live), size=count, replace=False)
+        victims = [live[int(i)] for i in sorted(picks)]
+        for transfer in victims:
+            self.cluster.transfers.fail(transfer, "flow interrupted")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.interruption",
+                track="faults",
+                transfers=[t.name for t in victims],
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.interruptions").inc(len(victims))
+        self.emit("fault", self, event=event)
+        self.emit("flow_interrupted", self, transfers=victims)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _check_at(at: float) -> float:
+        if at < 0:
+            raise SimulationError("fault offsets cannot be negative")
+        return float(at)
+
+    def _add(self, event: FaultEvent) -> None:
+        if self._armed:
+            raise SimulationError("cannot add events to an armed timeline")
+        self.events.append(event)

@@ -36,7 +36,10 @@ class DataPlane:
 
     def attach(self, repairer) -> None:
         """Subscribe to a repair driver's completion events."""
-        repairer.on_chunk_repaired.append(self.handle_repaired)
+        repairer.on(
+            "chunk_repaired",
+            lambda _r, chunk, plan: self.handle_repaired(chunk, plan),
+        )
 
     def handle_repaired(self, chunk: ChunkId, plan: RepairPlan) -> None:
         """Execute the finished plan over stored payloads and write back."""

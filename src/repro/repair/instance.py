@@ -39,6 +39,7 @@ class PlanInstance:
         tag: str = REPAIR_TAG,
         final_write: bool = True,
         on_complete: Callable[["PlanInstance"], None] | None = None,
+        on_failed: Callable[["PlanInstance", str], None] | None = None,
     ) -> None:
         self.cluster = cluster
         self.plan = plan
@@ -46,10 +47,13 @@ class PlanInstance:
         self.slice_size = slice_size
         self.tag = tag
         self.on_complete = on_complete
+        self.on_failed = on_failed
         self.started = False
         self.started_at: float | None = None
         self.completed_at: float | None = None
         self.cancelled = False
+        self.failed = False
+        self.failure_reason: str | None = None
         #: uploader node id -> its upload transfer (the live plan edges).
         self.uploads: dict[int, Transfer] = {}
         self.write: Transfer | None = None
@@ -74,6 +78,7 @@ class PlanInstance:
             write_disk=False,
             name=f"rep-{self.plan.chunk}-{uploader}->{downloader}",
         )
+        transfer.on_failed.append(self._transfer_failed)
         return transfer
 
     def _build(self, final_write: bool) -> None:
@@ -96,6 +101,7 @@ class PlanInstance:
             for child in self.plan.children(self.plan.destination):
                 self.write.depends_on(self.uploads[child])
             self.write.on_complete.append(lambda _t: self._finished())
+            self.write.on_failed.append(self._transfer_failed)
         else:
             self._watch_incoming()
 
@@ -149,6 +155,41 @@ class PlanInstance:
                 self.cluster.transfers.cancel(transfer)
         if self.write is not None and not self.write.done:
             self.cluster.transfers.cancel(self.write)
+
+    def uses_node(self, node_id: int) -> bool:
+        """True when ``node_id`` participates in this repair's plan."""
+        return (
+            node_id == self.plan.destination
+            or node_id in self.plan.parent
+            or node_id in self.plan.parent.values()
+        )
+
+    def _transfer_failed(self, transfer: Transfer, reason: str) -> None:
+        """One constituent transfer failed: the whole chunk repair fails.
+
+        A repair cannot complete with a missing input (a cancelled
+        dependency stops gating its dependents, so letting the rest run
+        would silently assemble a corrupt chunk). Tear everything down and
+        notify the owner exactly once; the runner/coordinator then retries
+        with a fresh plan.
+        """
+        self.fail(reason)
+
+    def fail(self, reason: str) -> None:
+        """Fail the whole repair (fault injection or watchdog timeout)."""
+        if self.done or self.cancelled or self.failed:
+            return
+        self.failed = True
+        self.failure_reason = reason
+        if self._obs_span is not None:
+            self._obs_span.finish(status="failed", reason=reason)
+            self._obs_span = None
+        self.cancel()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repairs.failed").inc()
+        if self.on_failed is not None:
+            self.on_failed(self, reason)
 
     def _finished(self) -> None:
         if self.done or self.cancelled:

@@ -5,6 +5,14 @@ full-node repair recovers 200 chunks). Chunks of the same stripe are
 never repaired concurrently (their survivor sets interact); metadata is
 relocated when a chunk's repair is *launched* so that two in-flight
 repairs can never pick conflicting destinations.
+
+Fault recovery (``repro.faults``): when a chunk's in-flight repair fails
+— a helper or destination crashed, a flow was interrupted, or the
+optional per-chunk timeout expired — the runner retries it with a fresh
+plan after an exponential backoff. A chunk whose stripe lost more nodes
+than the code tolerates is *lost*: the run still completes and reports a
+:class:`~repro.faults.outcomes.ToleranceExceeded` outcome instead of
+raising mid-simulation.
 """
 
 from __future__ import annotations
@@ -14,15 +22,34 @@ from typing import Callable
 from repro.cluster.failures import FailureInjector
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
-from repro.errors import SchedulingError
+from repro.errors import ReproError, SchedulingError
+from repro.events import HookEmitter, deprecated_callback
+from repro.faults.outcomes import ToleranceExceeded
 from repro.metrics.throughput import RepairThroughputMeter
+from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.repair.base import RepairAlgorithm
 from repro.repair.instance import PlanInstance
 
 
-class RepairRunner:
-    """Drives a repair algorithm over a set of failed chunks."""
+class RepairRunner(HookEmitter):
+    """Drives a repair algorithm over a set of failed chunks.
+
+    Events (see :class:`repro.events.HookEmitter`): ``all_done``,
+    ``chunk_repaired``, ``chunk_failed``, ``retry``, ``chunk_lost``,
+    ``tolerance_exceeded``, ``chunks_added``. Every callback receives the
+    runner as its first positional argument.
+    """
+
+    HOOK_EVENTS = (
+        "all_done",
+        "chunk_repaired",
+        "chunk_failed",
+        "retry",
+        "chunk_lost",
+        "tolerance_exceeded",
+        "chunks_added",
+    )
 
     def __init__(
         self,
@@ -35,10 +62,19 @@ class RepairRunner:
         slice_size: float,
         concurrency: int = 8,
         final_write: bool = True,
+        max_retries: int = 3,
+        retry_backoff: float = 0.5,
+        chunk_timeout: float | None = None,
         on_all_done: Callable[["RepairRunner"], None] | None = None,
     ) -> None:
         if concurrency < 1:
             raise SchedulingError("concurrency must be at least 1")
+        if max_retries < 0:
+            raise SchedulingError("max_retries cannot be negative")
+        if retry_backoff <= 0:
+            raise SchedulingError("retry_backoff must be positive")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise SchedulingError("chunk_timeout must be positive")
         self.cluster = cluster
         self.store = store
         self.injector = injector
@@ -47,21 +83,35 @@ class RepairRunner:
         self.slice_size = slice_size
         self.concurrency = concurrency
         self.final_write = final_write
-        self.on_all_done = on_all_done
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.chunk_timeout = chunk_timeout
+        deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.meter = RepairThroughputMeter()
         #: Fired as (chunk, final plan) when a chunk's repair completes;
-        #: the data plane subscribes here to move real bytes.
+        #: kept for backward compatibility — new code subscribes with
+        #: ``runner.on("chunk_repaired", ...)``.
         self.on_chunk_repaired: list = []
         self.pending: list[ChunkId] = []
         self.in_flight: dict[ChunkId, PlanInstance] = {}
         self.completed: list[ChunkId] = []
+        self.lost: list[ChunkId] = []
+        self.retries = 0
+        self.tolerance_exceeded: ToleranceExceeded | None = None
+        self._attempts: dict[ChunkId, int] = {}
+        self._retry_wait: set[ChunkId] = set()
         self._stripes_busy: set[int] = set()
         self._started = False
 
     @property
     def done(self) -> bool:
-        """True once every requested chunk is repaired."""
-        return self._started and not self.pending and not self.in_flight
+        """True once every requested chunk is repaired or written off."""
+        return (
+            self._started
+            and not self.pending
+            and not self.in_flight
+            and not self._retry_wait
+        )
 
     def repair(self, chunks: list[ChunkId]) -> None:
         """Start repairing ``chunks`` (returns immediately; run the sim)."""
@@ -71,11 +121,41 @@ class RepairRunner:
         self.pending = list(chunks)
         self.meter.start(self.cluster.sim.now)
         if not self.pending:
-            self.meter.finish(self.cluster.sim.now)
-            if self.on_all_done is not None:
-                self.on_all_done(self)
+            self._finish()
             return
         self._fill()
+
+    def add_chunks(self, chunks: list[ChunkId]) -> list[ChunkId]:
+        """Adopt newly failed chunks mid-run (a crash created more work).
+
+        Chunks already pending, in flight, awaiting a retry, or written
+        off as lost are skipped; a chunk that was repaired earlier but
+        sat on the crashed node is moved back from ``completed`` into the
+        work queue. Returns the chunks actually adopted.
+        """
+        if not self._started:
+            raise SchedulingError("runner not started; pass chunks to repair()")
+        busy = (
+            set(self.pending)
+            | set(self.in_flight)
+            | self._retry_wait
+            | set(self.lost)
+        )
+        adopted = [c for c in chunks if c not in busy]
+        if not adopted:
+            return []
+        reopened = self.done
+        for chunk in adopted:
+            if chunk in self.completed:
+                self.completed.remove(chunk)
+            self.pending.append(chunk)
+        if reopened:
+            # The batch had finished; un-finish the meter so throughput
+            # accounts for the extended run.
+            self.meter.finished_at = None
+        self.emit("chunks_added", self, chunks=list(adopted))
+        self._fill()
+        return adopted
 
     def _fill(self) -> None:
         launched = True
@@ -85,16 +165,30 @@ class RepairRunner:
                 if chunk.stripe in self._stripes_busy:
                     continue
                 self.pending.pop(i)
-                self._launch(chunk)
+                if not self.injector.is_repairable(chunk):
+                    # Accumulated crashes pushed the stripe beyond the
+                    # code's tolerance: write the chunk off instead of
+                    # letting plan construction blow up mid-run.
+                    self._mark_lost(chunk)
+                    self._maybe_finish()
+                else:
+                    self._launch(chunk)
                 launched = True
                 break
 
     def _launch(self, chunk: ChunkId) -> None:
-        plan = self.algorithm.make_plan(chunk, self.store.code, self.injector)
+        try:
+            plan = self.algorithm.make_plan(chunk, self.store.code, self.injector)
+        except ReproError:
+            # No usable survivors or destinations left (a crash raced us).
+            self._mark_lost(chunk)
+            self._maybe_finish()
+            return
         # Relocate eagerly: concurrent repairs then observe consistent
         # placement and cannot double-book a destination.
         self.store.relocate(chunk, plan.destination)
         self._stripes_busy.add(chunk.stripe)
+        self._attempts[chunk] = self._attempts.get(chunk, 0) + 1
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(
@@ -104,6 +198,7 @@ class RepairRunner:
                 destination=plan.destination,
                 algorithm=getattr(self.algorithm, "name", "?"),
                 sources=len(plan.sources),
+                attempt=self._attempts[chunk],
             )
         instance = PlanInstance(
             self.cluster,
@@ -112,9 +207,107 @@ class RepairRunner:
             slice_size=self.slice_size,
             final_write=self.final_write,
             on_complete=lambda inst, c=chunk: self._chunk_done(c, inst),
+            on_failed=lambda inst, reason, c=chunk: self._instance_failed(
+                c, inst, reason
+            ),
         )
         self.in_flight[chunk] = instance
         instance.start()
+        if self.chunk_timeout is not None:
+            self.cluster.sim.schedule(
+                self.chunk_timeout, self._check_timeout, chunk, instance
+            )
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _check_timeout(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self.in_flight.get(chunk) is not instance or instance.done:
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "repair.timeout",
+                track="scheduler",
+                chunk=str(chunk),
+                timeout=self.chunk_timeout,
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.timeouts").inc()
+        instance.fail("chunk repair timed out")
+
+    def _instance_failed(
+        self, chunk: ChunkId, instance: PlanInstance, reason: str
+    ) -> None:
+        if self.in_flight.get(chunk) is not instance:
+            return
+        self.in_flight.pop(chunk, None)
+        self._stripes_busy.discard(chunk.stripe)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.failures").inc()
+        self.emit("chunk_failed", self, chunk=chunk, reason=reason)
+        if not self.injector.is_repairable(chunk):
+            self._mark_lost(chunk)
+        elif self._attempts.get(chunk, 1) > self.max_retries:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("repair.retry.exhausted").inc()
+            self._mark_lost(chunk)
+        else:
+            delay = self.retry_backoff * 2 ** (self._attempts.get(chunk, 1) - 1)
+            self._retry_wait.add(chunk)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "repair.retry",
+                    track="scheduler",
+                    chunk=str(chunk),
+                    reason=reason,
+                    attempt=self._attempts.get(chunk, 1),
+                    backoff=delay,
+                )
+            self.cluster.sim.schedule(delay, self._retry, chunk)
+        self._fill()
+        self._maybe_finish()
+
+    def _retry(self, chunk: ChunkId) -> None:
+        if chunk not in self._retry_wait:
+            return
+        self._retry_wait.discard(chunk)
+        self.retries += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.retry.attempts").inc()
+        self.emit("retry", self, chunk=chunk, attempt=self._attempts.get(chunk, 0))
+        if (
+            chunk.stripe in self._stripes_busy
+            or len(self.in_flight) >= self.concurrency
+        ):
+            self.pending.insert(0, chunk)
+        else:
+            self._launch(chunk)
+        self._maybe_finish()
+
+    def _mark_lost(self, chunk: ChunkId) -> None:
+        self.lost.append(chunk)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.chunks_lost").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("repair.chunk_lost", track="scheduler", chunk=str(chunk))
+        self.emit("chunk_lost", self, chunk=chunk)
+        first = self.tolerance_exceeded is None
+        self.tolerance_exceeded = ToleranceExceeded(
+            failed_nodes=tuple(sorted(self.cluster.failed_node_ids())),
+            lost_chunks=tuple(self.lost),
+            at=self.cluster.sim.now,
+        )
+        if first:
+            self.emit("tolerance_exceeded", self, outcome=self.tolerance_exceeded)
+
+    # -- completion ----------------------------------------------------------------
 
     def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
         self.in_flight.pop(chunk, None)
@@ -123,9 +316,15 @@ class RepairRunner:
         self.meter.record_repair(self.cluster.sim.now, self.chunk_size)
         for callback in self.on_chunk_repaired:
             callback(chunk, instance.plan)
+        self.emit("chunk_repaired", self, chunk=chunk, plan=instance.plan)
         if self.pending:
             self._fill()
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
         if self.done:
-            self.meter.finish(self.cluster.sim.now)
-            if self.on_all_done is not None:
-                self.on_all_done(self)
+            self._finish()
+
+    def _finish(self) -> None:
+        self.meter.finish(self.cluster.sim.now)
+        self.emit("all_done", self)

@@ -58,9 +58,12 @@ class Transfer:
         self.started_at: float | None = None
         self.completed_at: float | None = None
         self.cancelled = False
+        self.failed = False
+        self.failure_reason: str | None = None
         self.paused = False
         self.released = False
         self.on_complete: list[Callable[[Transfer], None]] = []
+        self.on_failed: list[Callable[[Transfer, str], None]] = []
         self.on_slice: list[Callable[[Transfer, int], None]] = []
         self._manager: TransferManager | None = None
         self._inflight: Flow | None = None
@@ -100,6 +103,22 @@ class TransferManager:
 
     def __init__(self, scheduler: FlowScheduler) -> None:
         self.scheduler = scheduler
+        # Live = released but neither finished nor cancelled/failed. The
+        # fault subsystem consults this registry to find the transfers a
+        # node crash tears down or a flow interruption may hit.
+        self._live: dict[int, Transfer] = {}
+
+    def live_transfers(self, tag: str | None = None) -> list[Transfer]:
+        """Live transfers (optionally one traffic tag), ordered by id.
+
+        The id ordering makes consumers deterministic: a seeded fault
+        timeline picking a victim always sees the same candidate list.
+        """
+        return [
+            t
+            for _id, t in sorted(self._live.items())
+            if tag is None or t.tag == tag
+        ]
 
     def start(self, transfer: Transfer) -> None:
         """Release a transfer; slices launch as dependencies permit."""
@@ -109,6 +128,7 @@ class TransferManager:
             return
         transfer._manager = self
         transfer.released = True
+        self._live[transfer.id] = transfer
         transfer.started_at = self.scheduler.sim.now
         tracer = get_tracer()
         if tracer.enabled:
@@ -172,6 +192,7 @@ class TransferManager:
         if transfer.done or transfer.cancelled:
             return
         transfer.cancelled = True
+        self._live.pop(transfer.id, None)
         if transfer._obs_span is not None:
             transfer._obs_span.finish(status="cancelled")
             transfer._obs_span = None
@@ -182,6 +203,52 @@ class TransferManager:
         for dependent in transfer.dependents:
             if dependent.released:
                 self._try_launch(dependent)
+
+    def fail(self, transfer: Transfer, reason: str = "failed") -> None:
+        """Abort the transfer *as a fault*: cancel it, then fire ``on_failed``.
+
+        Unlike :meth:`cancel` (a deliberate scheduling decision, silent to
+        the owner), a failure notifies the transfer's owner so recovery
+        machinery can retry or re-plan. Idempotent; failing a finished or
+        already-cancelled transfer is a no-op.
+        """
+        if transfer.done or transfer.cancelled:
+            return
+        transfer.failed = True
+        transfer.failure_reason = reason
+        if transfer._obs_span is not None:
+            transfer._obs_span.finish(status="failed", reason=reason)
+            transfer._obs_span = None
+        self.cancel(transfer)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("transfers.failed").inc()
+        for callback in list(transfer.on_failed):
+            callback(transfer, reason)
+
+    def fail_crossing(
+        self,
+        resources: tuple[Resource, ...] | list[Resource],
+        reason: str,
+        *,
+        tag: str | None = None,
+    ) -> list[Transfer]:
+        """Fail every live transfer routed through any of ``resources``.
+
+        Used by the fault subsystem when a node crashes: all in-flight
+        (optionally tag-filtered) movements touching the node's links or
+        disks are torn down, and their owners are notified via
+        ``on_failed``. Returns the failed transfers.
+        """
+        wanted = set(id(r) for r in resources)
+        victims = [
+            t
+            for t in self.live_transfers(tag)
+            if any(id(r) in wanted for r in t.resources)
+        ]
+        for transfer in victims:
+            self.fail(transfer, reason)
+        return victims
 
     # -- internals -----------------------------------------------------------
 
@@ -237,6 +304,7 @@ class TransferManager:
                 self._try_launch(dependent)
         if transfer.completed_slices >= transfer.num_slices:
             transfer.completed_at = self.scheduler.sim.now
+            self._live.pop(transfer.id, None)
             if transfer._obs_span is not None:
                 transfer._obs_span.finish()
                 transfer._obs_span = None

@@ -9,6 +9,7 @@ import numpy as np
 from repro.cluster.node import MB, Node
 from repro.cluster.topology import Cluster
 from repro.errors import SimulationError
+from repro.events import HookEmitter, deprecated_callback
 from repro.metrics.latency import LatencyRecorder
 from repro.traffic.router import KeyRouter
 from repro.traffic.traces import TraceGenerator
@@ -16,13 +17,19 @@ from repro.traffic.traces import TraceGenerator
 FOREGROUND_TAG = "foreground"
 
 
-class TraceClient:
+class TraceClient(HookEmitter):
     """One YCSB-style client: issues requests back-to-back (closed loop).
 
     Reads move data node -> client (through the node's disk-read and
     uplink); updates move client -> node (through the node's downlink and
     disk-write). Latency per request feeds the shared recorder.
+
+    Events (see :class:`repro.events.HookEmitter`): ``done`` fires once
+    when the last request completes; ``request_done`` fires per request
+    with ``latency=`` and ``size=`` keywords.
     """
+
+    HOOK_EVENTS = ("done", "request_done")
 
     def __init__(
         self,
@@ -68,7 +75,7 @@ class TraceClient:
         # Shifts this client's hot key set so concurrent clients hammer
         # different nodes (spatial skew that moves as bursts alternate).
         self.key_offset = key_offset
-        self.on_done = on_done
+        deprecated_callback(self, "on_done", "done", on_done)
         self._active_slots = 0
         self._bursting = True
         self._parked_slots = 0
@@ -142,8 +149,7 @@ class TraceClient:
             self._active_slots -= 1
             if self._active_slots <= 0 and self.finished_at is None:
                 self.finished_at = self.cluster.sim.now
-                if self.on_done is not None:
-                    self.on_done(self)
+                self.emit("done", self)
             return
         if not self._bursting:
             self._parked_slots += 1
@@ -180,8 +186,10 @@ class TraceClient:
         self.cluster.start(transfer)
 
     def _request_done(self, issue_time: float, size: float) -> None:
-        self.latency.record(self.cluster.sim.now - issue_time)
+        latency = self.cluster.sim.now - issue_time
+        self.latency.record(latency)
         self.bytes_moved += size
+        self.emit("request_done", self, latency=latency, size=size)
         if self.think_time > 0:
             self.cluster.sim.schedule(self.think_time, self._issue_next)
         else:

@@ -1,0 +1,184 @@
+"""The repro.api facade: TestbedBuilder normalization, Testbed parity with
+the legacy Scenario, asymmetric disk bandwidth, and the stable re-exports."""
+
+import pytest
+
+import repro
+from repro.api import Testbed, TestbedBuilder, _normalize_code, _normalize_trace
+from repro.cluster import Cluster, mbs
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_repair_experiment
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultTimeline
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        ("spec", "expected"),
+        [
+            ("rs-6-3", "RS(6,3)"),
+            ("RS-10-4", "RS(10,4)"),
+            ("lrc-12-2-2", "LRC(12,2,2)"),
+            ("butterfly-4-2", "Butterfly(4,2)"),
+            ("RS(6,3)", "RS(6,3)"),  # canonical specs pass through
+        ],
+    )
+    def test_code_specs(self, spec, expected):
+        assert _normalize_code(spec) == expected
+
+    @pytest.mark.parametrize("bad", ["paritycheck-6-3", "rs", "rs-a-b"])
+    def test_bad_code_spec_rejected(self, bad):
+        with pytest.raises(ReproError):
+            _normalize_code(bad)
+
+    @pytest.mark.parametrize(
+        ("slug", "expected"),
+        [
+            ("ycsb-a", "YCSB-A"),
+            ("YCSB-A", "YCSB-A"),
+            ("ibm-os", "IBM-OS"),
+            ("memcached", "Memcached"),
+            ("facebook-etc", "Facebook-ETC"),
+        ],
+    )
+    def test_trace_slugs(self, slug, expected):
+        assert _normalize_trace(slug) == expected
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ReproError):
+            _normalize_trace("zipf-99")
+
+
+class TestBuilder:
+    def test_builder_produces_config(self):
+        config = (
+            TestbedBuilder()
+            .with_code("rs-6-3")
+            .with_nodes(18)
+            .with_clients(2)
+            .with_trace("ycsb-a")
+            .with_chunks(10)
+            .with_seed(5)
+            .with_link(25.0)
+            .with_disk(500.0, read_mbs=800.0, write_mbs=300.0)
+            .config()
+        )
+        assert config.code == "RS(6,3)"
+        assert config.num_nodes == 18
+        assert config.num_clients == 2
+        assert config.trace == "YCSB-A"
+        assert config.num_chunks == 10
+        assert config.seed == 5
+        assert config.link_gbps == 25.0
+        assert config.disk_mbs == 500.0
+        assert config.disk_read_mbs == 800.0
+        assert config.disk_write_mbs == 300.0
+
+    def test_with_options_passthrough(self):
+        config = TestbedBuilder().with_options(t_phase=3.0, racks=2).config()
+        assert config.t_phase == 3.0
+        assert config.racks == 2
+
+    def test_build_returns_testbed(self):
+        testbed = TestbedBuilder().scaled(0.05).build()
+        assert isinstance(testbed, Testbed)
+        assert testbed.cluster.sim is not None
+
+    def test_classmethod_builder(self):
+        assert isinstance(Testbed.builder(), TestbedBuilder)
+
+
+class TestScenarioParity:
+    def test_fault_free_run_matches_legacy_scenario(self):
+        """Routing an experiment through the facade must not change the
+        physics: same config, same algorithm, same repair time."""
+        config = ExperimentConfig.scaled(0.05, seed=3)
+        legacy = run_repair_experiment(
+            config, "CR", scenario=Scenario(config)
+        )
+        faceted = run_repair_experiment(
+            config, "CR", scenario=Testbed.build(config)
+        )
+        assert faceted.repair_time == pytest.approx(legacy.repair_time)
+        assert faceted.chunks == legacy.chunks
+        assert faceted.repaired_bytes == legacy.repaired_bytes
+
+
+class TestAsymmetricDisk:
+    def test_config_reaches_node_resources(self):
+        config = ExperimentConfig.scaled(
+            0.05, disk_read_mbs=800.0, disk_write_mbs=300.0
+        )
+        testbed = Testbed.build(config)
+        node = testbed.cluster.node(testbed.cluster.storage_ids[0])
+        assert node.disk_read.capacity == pytest.approx(mbs(800))
+        assert node.disk_write.capacity == pytest.approx(mbs(300))
+
+    def test_symmetric_default_from_disk_mbs(self):
+        config = ExperimentConfig.scaled(0.05, disk_mbs=700.0)
+        testbed = Testbed.build(config)
+        node = testbed.cluster.node(testbed.cluster.storage_ids[0])
+        assert node.disk_read.capacity == pytest.approx(mbs(700))
+        assert node.disk_write.capacity == pytest.approx(mbs(700))
+
+    def test_set_disk_bandwidth_split(self):
+        cluster = Cluster(num_nodes=4, num_clients=0, link_bw=mbs(100))
+        node = cluster.node(cluster.storage_ids[0])
+        cluster.set_disk_bandwidth(mbs(600), mbs(250))
+        assert node.disk_read.capacity == pytest.approx(mbs(600))
+        assert node.disk_write.capacity == pytest.approx(mbs(250))
+        cluster.set_disk_bandwidth(mbs(400))
+        assert node.disk_read.capacity == pytest.approx(mbs(400))
+        assert node.disk_write.capacity == pytest.approx(mbs(400))
+
+    def test_negative_disk_bandwidth_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentConfig.scaled(0.05, disk_read_mbs=-1.0)
+
+
+class TestFaultWiring:
+    def test_install_faults_forwards_crash_chunks(self):
+        testbed = TestbedBuilder().scaled(0.06).with_seed(2).build()
+        report = testbed.injector.fail_nodes([testbed.cluster.storage_ids[0]])
+        repairer = testbed.make_repairer("ChameleonEC")
+        adopted = []
+        repairer.on("chunks_added", lambda r, chunks: adopted.extend(chunks))
+        victim = next(
+            n for n in testbed.cluster.storage_ids if testbed.cluster.node(n).alive
+        )
+        timeline = FaultTimeline(seed=1).crash(0.5, victim)
+        testbed.install_faults(timeline)
+        repairer.repair(report.failed_chunks)
+        testbed.run_until(lambda: repairer.done, step=2.0)
+        assert repairer.done
+        assert repairer.lost == []
+        assert adopted  # the crash report reached the running repairer
+        assert not testbed.cluster.node(victim).alive
+
+    def test_repairers_are_tracked(self):
+        testbed = TestbedBuilder().scaled(0.05).build()
+        repairer = testbed.make_repairer("CR")
+        assert testbed.repairers == [repairer]
+
+
+class TestReExports:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Testbed",
+            "TestbedBuilder",
+            "ExperimentConfig",
+            "HookEmitter",
+            "FaultTimeline",
+            "FaultEvent",
+            "NodeCrash",
+            "BandwidthDegradation",
+            "TransientStraggler",
+            "FlowInterruption",
+            "ToleranceExceeded",
+        ],
+    )
+    def test_stable_surface(self, name):
+        assert hasattr(repro, name)
+        assert name in repro.__all__

@@ -64,9 +64,8 @@ class TestBasicRepair:
     def test_empty_batch(self):
         cluster, store, injector, monitor = make_env()
         done = []
-        coord = make_chameleon(
-            cluster, store, injector, monitor, on_all_done=lambda c: done.append(1)
-        )
+        coord = make_chameleon(cluster, store, injector, monitor)
+        coord.on("all_done", lambda c: done.append(1))
         coord.repair([])
         assert coord.done and done == [1]
 

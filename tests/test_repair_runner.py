@@ -67,8 +67,9 @@ class TestRunnerMechanics:
         done = []
         runner = RepairRunner(
             cluster, store, injector, ConventionalRepair(),
-            chunk_size=CHUNK, slice_size=SLICE, on_all_done=lambda r: done.append(1),
+            chunk_size=CHUNK, slice_size=SLICE,
         )
+        runner.on("all_done", lambda r: done.append(1))
         runner.repair([])
         assert runner.done and done == [1]
 
