@@ -69,9 +69,17 @@ from repro.faults import (
     FaultEvent,
     FaultTimeline,
     FlowInterruption,
+    LatentSectorError,
     NodeCrash,
+    SilentCorruption,
     ToleranceExceeded,
     TransientStraggler,
+)
+from repro.integrity import (
+    IntegrityLedger,
+    IntegrityRecord,
+    Scrubber,
+    payload_checksum,
 )
 from repro.metrics import (
     LatencyRecorder,
@@ -132,9 +140,12 @@ __all__ = [
     "FaultTimeline",
     "FlowInterruption",
     "HookEmitter",
+    "IntegrityLedger",
+    "IntegrityRecord",
     "KeyRouter",
     "LRCCode",
     "LatencyRecorder",
+    "LatentSectorError",
     "LinkStatsCollector",
     "Node",
     "NodeCrash",
@@ -150,6 +161,8 @@ __all__ = [
     "ReproError",
     "RSCode",
     "SchedulingError",
+    "Scrubber",
+    "SilentCorruption",
     "SimulationError",
     "Simulator",
     "Stripe",
@@ -168,6 +181,7 @@ __all__ = [
     "make_code",
     "make_trace",
     "mbs",
+    "payload_checksum",
     "place_stripes",
     "ycsb_a",
 ]

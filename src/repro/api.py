@@ -29,11 +29,16 @@ Then::
 
 from __future__ import annotations
 
+from repro.cluster.datastore import ChunkStore, drop_node_chunks, encode_and_load
+from repro.cluster.node import mbs
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import MAX_SIM_TIME, run_sim_until
 from repro.experiments.scenario import ALL_ALGORITHMS, Scenario
 from repro.faults.timeline import FaultTimeline
+from repro.integrity.ledger import IntegrityLedger
+from repro.integrity.scrubber import Scrubber
+from repro.repair.dataplane import DataPlane
 from repro.traffic.traces import TRACE_FACTORIES
 
 _CODE_FAMILIES = {"rs": "RS", "lrc": "LRC", "butterfly": "Butterfly"}
@@ -79,6 +84,10 @@ class Testbed(Scenario):
         #: reports from an installed fault timeline fan out to these.
         self.repairers: list = []
         self.fault_timeline: FaultTimeline | None = None
+        self.chunk_store: ChunkStore | None = None
+        self.ledger: IntegrityLedger | None = None
+        self.dataplane: DataPlane | None = None
+        self.scrubber: Scrubber | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -98,15 +107,114 @@ class Testbed(Scenario):
         """Build a runner/coordinator for the named algorithm.
 
         The repairer is registered so an installed fault timeline can
-        hand it the extra chunks a later crash produces.
+        hand it the extra chunks a later crash produces; with integrity
+        enabled it is also attached to the data plane (verified repair)
+        and the scrubber (detections become its work).
         """
         repairer = super().make_repairer(name, **overrides)
         self.repairers.append(repairer)
+        if self.dataplane is not None:
+            self.dataplane.attach(repairer)
+        if self.scrubber is not None:
+            self.scrubber.attach(repairer)
         return repairer
 
     def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
         """Advance virtual time until ``predicate()`` holds (or ``limit``)."""
         return run_sim_until(self.cluster, predicate, step, limit)
+
+    # -- data integrity --------------------------------------------------------
+
+    def enable_integrity(self, *, payload_size: int = 128) -> DataPlane:
+        """Load real chunk payloads + checksums; attach verified repair.
+
+        Every stripe is encoded over random data and stored in a
+        :class:`~repro.cluster.datastore.ChunkStore` with per-chunk
+        CRC-32 metadata. Repairers (existing and future) get a verified
+        :class:`~repro.repair.dataplane.DataPlane`: helper payloads are
+        checksum-checked before decode, reconstructions before
+        write-back, and corrupted helpers are quarantined + re-planned.
+        Idempotent; returns the data plane.
+
+        Call this *before* :meth:`install_faults` when the timeline
+        carries corruption events (they damage actual stored bytes).
+        """
+        if self.dataplane is not None:
+            return self.dataplane
+        self.chunk_store = encode_and_load(
+            self.store, payload_size=payload_size, seed=self.config.seed + 17
+        )
+        # Nodes that already failed hold no data — only the checksums
+        # survive (they are the write-back oracle for the repairs).
+        for dead in sorted(self.cluster.failed_node_ids()):
+            drop_node_chunks(self.chunk_store, self.store, dead)
+        self.ledger = IntegrityLedger(self.cluster.sim)
+        self.dataplane = DataPlane(
+            self.chunk_store, self.store, self.injector, ledger=self.ledger
+        )
+        for repairer in self.repairers:
+            self.dataplane.attach(repairer)
+        return self.dataplane
+
+    def start_scrubber(
+        self, *, rate_mbs: float, passes: int | None = None
+    ) -> Scrubber:
+        """Start background scrubbing at ``rate_mbs`` MB/s of chunk data.
+
+        Enables integrity if needed. The scrubber's read traffic flows
+        through the simulator (it contends with foreground I/O and
+        repairs); detections are quarantined and enqueued to every
+        repairer built through :meth:`make_repairer`.
+        """
+        if self.scrubber is not None:
+            raise ReproError("scrubber already started")
+        self.enable_integrity()
+        self.scrubber = Scrubber(
+            self.cluster,
+            self.store,
+            self.chunk_store,
+            self.injector,
+            rate=mbs(rate_mbs),
+            slice_size=self.config.slice_size,
+            ledger=self.ledger,
+            passes=passes,
+        )
+        for repairer in self.repairers:
+            self.scrubber.attach(repairer)
+        self.scrubber.start()
+        return self.scrubber
+
+    def inject_bitrot(
+        self,
+        *,
+        corruptions: int,
+        sector_errors: int = 0,
+        horizon: float,
+        flips: int = 1,
+        max_per_stripe: int | None = None,
+        seed: int | None = None,
+    ) -> FaultTimeline:
+        """Schedule seeded bit-rot over the next ``horizon`` seconds.
+
+        Enables integrity if needed, builds a
+        :meth:`FaultTimeline.rot` schedule over every stored chunk, and
+        installs it (offsets count from now). Returns the timeline.
+        ``max_per_stripe`` caps victims sharing a stripe (keep total
+        per-stripe damage within the code's tolerance for scenarios
+        that must stay repairable).
+        """
+        self.enable_integrity()
+        timeline = FaultTimeline(
+            seed=self.config.seed + 23 if seed is None else seed
+        ).rot(
+            chunks=list(self.chunk_store.chunks()),
+            horizon=horizon,
+            corruptions=corruptions,
+            sector_errors=sector_errors,
+            flips=flips,
+            max_per_stripe=max_per_stripe,
+        )
+        return self.install_faults(timeline)
 
     # -- faults ---------------------------------------------------------------
 
@@ -116,17 +224,34 @@ class Testbed(Scenario):
         Event offsets count from *now*; call this when the phase you
         want faulted (typically the repair) starts. When a crash kills a
         node, its chunks are forwarded to every started repairer via
-        ``add_chunks`` so they are re-repaired in the same run.
+        ``add_chunks`` so they are re-repaired in the same run. With
+        integrity enabled, corruption events damage stored payloads and
+        land in the ledger.
         """
         timeline.on("node_crashed", self._crash_to_repairers)
-        timeline.arm(self.cluster, injector=self.injector)
+        if self.ledger is not None:
+            self.ledger.attach(timeline)
+        timeline.arm(
+            self.cluster, injector=self.injector, chunk_store=self.chunk_store
+        )
         self.fault_timeline = timeline
         return timeline
 
     def _crash_to_repairers(self, _timeline, node_id, report, failed_transfers):
+        if self.chunk_store is not None:
+            for dead in report.failed_nodes:
+                drop_node_chunks(self.chunk_store, self.store, dead)
         for repairer in self.repairers:
             if getattr(repairer, "_started", False):
                 repairer.add_chunks(report.failed_chunks)
+
+    def fail_nodes(self, count: int = 1):
+        """Fail nodes (see :meth:`Scenario.fail_nodes`), dropping payloads."""
+        report = super().fail_nodes(count)
+        if self.chunk_store is not None:
+            for dead in report.failed_nodes:
+                drop_node_chunks(self.chunk_store, self.store, dead)
+        return report
 
 
 class TestbedBuilder:
@@ -144,6 +269,9 @@ class TestbedBuilder:
         self._testbed_cls = testbed_cls
         self._scale: float | None = None
         self._overrides: dict = {}
+        self._integrity: dict | None = None
+        self._scrubber: dict | None = None
+        self._bitrot: dict | None = None
 
     # -- knobs ----------------------------------------------------------------
 
@@ -208,6 +336,39 @@ class TestbedBuilder:
         self._overrides.update(kwargs)
         return self
 
+    def with_integrity(self, *, payload_size: int = 128) -> "TestbedBuilder":
+        """Load real payloads + checksums (see :meth:`Testbed.enable_integrity`)."""
+        self._integrity = {"payload_size": payload_size}
+        return self
+
+    def with_scrubber(
+        self, rate_mbs: float, *, passes: int | None = None
+    ) -> "TestbedBuilder":
+        """Start a background scrubber at ``rate_mbs`` MB/s on build."""
+        self._scrubber = {"rate_mbs": rate_mbs, "passes": passes}
+        return self
+
+    def with_bitrot(
+        self,
+        *,
+        corruptions: int,
+        sector_errors: int = 0,
+        horizon: float,
+        flips: int = 1,
+        max_per_stripe: int | None = None,
+        seed: int | None = None,
+    ) -> "TestbedBuilder":
+        """Schedule seeded bit-rot over ``[0, horizon)`` on build."""
+        self._bitrot = {
+            "corruptions": corruptions,
+            "sector_errors": sector_errors,
+            "horizon": horizon,
+            "flips": flips,
+            "max_per_stripe": max_per_stripe,
+            "seed": seed,
+        }
+        return self
+
     # -- products -------------------------------------------------------------
 
     def config(self) -> ExperimentConfig:
@@ -217,8 +378,15 @@ class TestbedBuilder:
         return ExperimentConfig.scaled(**self._overrides)
 
     def build(self) -> Testbed:
-        """Materialise the testbed."""
-        return self._testbed_cls(self.config())
+        """Materialise the testbed (+ any requested integrity machinery)."""
+        testbed = self._testbed_cls(self.config())
+        if self._integrity is not None:
+            testbed.enable_integrity(**self._integrity)
+        if self._bitrot is not None:
+            testbed.inject_bitrot(**self._bitrot)
+        if self._scrubber is not None:
+            testbed.start_scrubber(**self._scrubber)
+        return testbed
 
 
 __all__ = [

@@ -23,6 +23,11 @@ class FailureInjector:
     def __init__(self, cluster: Cluster, store: StripeStore) -> None:
         self.cluster = cluster
         self.store = store
+        #: Chunks flagged as corrupt/unreadable. Quarantined chunks are
+        #: excluded from :meth:`surviving_sources`, so every planner —
+        #: the baselines' equation selection and ChameleonEC's candidate
+        #: machinery alike — automatically re-plans around them.
+        self.quarantined: set[ChunkId] = set()
 
     def fail_nodes(self, node_ids: list[int]) -> FailureReport:
         """Kill ``node_ids``; returns every chunk that must be repaired."""
@@ -69,8 +74,36 @@ class FailureInjector:
         return True
 
     def surviving_sources(self, chunk: ChunkId) -> dict[int, int]:
-        """Surviving chunk-index -> node-id for the chunk's stripe."""
-        return self.store.survivors(chunk, self.cluster.failed_node_ids())
+        """Surviving chunk-index -> node-id for the chunk's stripe.
+
+        Quarantined siblings are filtered out: a chunk known to hold bad
+        bytes must never serve as a repair helper, exactly as a chunk on
+        a dead node cannot. This is the single choke point that makes
+        *every* repair algorithm select an alternate helper set.
+        """
+        survivors = self.store.survivors(chunk, self.cluster.failed_node_ids())
+        if not self.quarantined:
+            return survivors
+        stripe = chunk.stripe
+        return {
+            index: node_id
+            for index, node_id in survivors.items()
+            if ChunkId(stripe, index) not in self.quarantined
+        }
+
+    def quarantine(self, chunk: ChunkId) -> bool:
+        """Flag ``chunk`` as corrupt; True if it was newly flagged."""
+        if chunk in self.quarantined:
+            return False
+        self.quarantined.add(chunk)
+        return True
+
+    def release(self, chunk: ChunkId) -> None:
+        """Lift the quarantine (a verified repair restored the chunk)."""
+        self.quarantined.discard(chunk)
+
+    def is_quarantined(self, chunk: ChunkId) -> bool:
+        return chunk in self.quarantined
 
     def candidate_destinations(self, chunk: ChunkId) -> list[int]:
         """Alive storage nodes that hold no chunk of this stripe.

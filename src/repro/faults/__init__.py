@@ -6,8 +6,8 @@ Exp#6). This subsystem makes such churn injectable and deterministic:
 
 * :class:`FaultTimeline` — a seedable schedule of fault events (node
   crashes, disk/NIC degradation with recovery, transient stragglers,
-  single-flow interruptions) executed against the simulator's virtual
-  clock;
+  single-flow interruptions, silent payload corruption and latent
+  sector errors) executed against the simulator's virtual clock;
 * :class:`ToleranceExceeded` — the graceful outcome reported when a
   crash exhausts the erasure code's fault tolerance (instead of an
   unhandled exception mid-simulation).
@@ -26,7 +26,9 @@ from repro.faults.timeline import (
     FaultEvent,
     FaultTimeline,
     FlowInterruption,
+    LatentSectorError,
     NodeCrash,
+    SilentCorruption,
     TransientStraggler,
 )
 
@@ -35,7 +37,9 @@ __all__ = [
     "FaultEvent",
     "FaultTimeline",
     "FlowInterruption",
+    "LatentSectorError",
     "NodeCrash",
+    "SilentCorruption",
     "ToleranceExceeded",
     "TransientStraggler",
 ]

@@ -18,7 +18,14 @@ Event kinds:
   onset + duration, default severity deep enough to trip the
   coordinator's straggler detection;
 * :class:`FlowInterruption` — one (or a few) in-flight repair transfers
-  are killed outright (a TCP reset, an I/O error on a source).
+  are killed outright (a TCP reset, an I/O error on a source);
+* :class:`SilentCorruption` — bit-rot: random bytes of a stored payload
+  flip with *no externally visible signal* (no node dies, no transfer
+  fails, no hook fires toward detectors — only the ``corrupted``
+  bookkeeping hook for ledgers). Detection is entirely up to checksum
+  verification (scrubber, verified repair, degraded reads);
+* :class:`LatentSectorError` — the chunk's sectors stop reading back:
+  every subsequent checksum verification of the chunk fails.
 
 Overlapping degradations compose multiplicatively and restore exactly:
 the timeline tracks each resource's base capacity and the stack of
@@ -35,11 +42,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.datastore import ChunkStore
 from repro.cluster.failures import FailureInjector, FailureReport
+from repro.cluster.stripes import ChunkId
 from repro.cluster.topology import Cluster
 from repro.errors import SimulationError
 from repro.events import HookEmitter
-from repro.metrics.linkstats import REPAIR_TAG
+from repro.metrics.linkstats import REPAIR_TAG, SCRUB_TAG
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.sim.resources import Resource
@@ -92,6 +101,26 @@ class FlowInterruption(FaultEvent):
     count: int = 1
 
 
+@dataclass(frozen=True)
+class SilentCorruption(FaultEvent):
+    """Flip ``flips`` bytes of ``chunk``'s stored payload, silently.
+
+    ``chunk=None`` picks a random stored chunk at execution time (drawn
+    from the timeline's own RNG over the store's deterministic chunk
+    order, so equal seeds corrupt equal chunks).
+    """
+
+    chunk: ChunkId | None = None
+    flips: int = 1
+
+
+@dataclass(frozen=True)
+class LatentSectorError(FaultEvent):
+    """``chunk``'s sectors become unreadable (None = random stored chunk)."""
+
+    chunk: ChunkId | None = None
+
+
 @dataclass
 class _Throttle:
     """Bookkeeping for one resource under one or more active faults."""
@@ -115,6 +144,8 @@ class FaultTimeline(HookEmitter):
         "degraded",
         "recovered",
         "flow_interrupted",
+        "corrupted",
+        "sector_error",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -124,6 +155,7 @@ class FaultTimeline(HookEmitter):
         self.injected: list[FaultEvent] = []
         self.cluster: Cluster | None = None
         self.injector: FailureInjector | None = None
+        self.chunk_store: ChunkStore | None = None
         self._armed = False
         self._throttles: dict[str, _Throttle] = {}
 
@@ -190,6 +222,89 @@ class FaultTimeline(HookEmitter):
         self._add(FlowInterruption(at=self._check_at(at), count=count))
         return self
 
+    def corrupt(
+        self, at: float, chunk: ChunkId | None = None, *, flips: int = 1
+    ) -> "FaultTimeline":
+        """Schedule a silent corruption (``chunk=None`` = random victim)."""
+        if flips < 1:
+            raise SimulationError("corruption must flip at least one byte")
+        self._add(SilentCorruption(at=self._check_at(at), chunk=chunk, flips=flips))
+        return self
+
+    def sector_error(
+        self, at: float, chunk: ChunkId | None = None
+    ) -> "FaultTimeline":
+        """Schedule a latent sector error (``chunk=None`` = random victim)."""
+        self._add(LatentSectorError(at=self._check_at(at), chunk=chunk))
+        return self
+
+    def rot(
+        self,
+        *,
+        chunks: list[ChunkId],
+        horizon: float,
+        corruptions: int = 0,
+        sector_errors: int = 0,
+        flips: int = 1,
+        max_per_stripe: int | None = None,
+    ) -> "FaultTimeline":
+        """Generate seeded bit-rot over ``[0, horizon)`` — churn's twin.
+
+        Victims for corruptions *and* sector errors are drawn from
+        ``chunks`` in one combined draw without replacement, so no chunk
+        is hit twice and every scheduled event damages a distinct chunk
+        (which keeps detection accounting exact: injected == damaged).
+        ``max_per_stripe`` bounds how many victims share a stripe —
+        pass ``m - 1`` (or less, if nodes also fail) to keep the damage
+        within the code's repair tolerance; the uncapped default models
+        rot that has no respect for stripe boundaries. Two timelines
+        with equal seeds and equal ``rot`` calls build identical event
+        sequences.
+        """
+        if horizon <= 0:
+            raise SimulationError("rot horizon must be positive")
+        if corruptions < 0 or sector_errors < 0:
+            raise SimulationError("rot event counts cannot be negative")
+        if max_per_stripe is not None and max_per_stripe < 1:
+            raise SimulationError("max_per_stripe must be >= 1 (or None)")
+        total = corruptions + sector_errors
+        if total == 0:
+            return self
+        if not chunks:
+            raise SimulationError("rot needs candidate chunks")
+        if total > len(chunks):
+            raise SimulationError("cannot damage more chunks than candidates")
+        rng = self.rng
+        # ChunkId is frozen but unordered; sort by (stripe, index) so the
+        # draw is independent of the caller's list order.
+        pool = sorted(set(chunks), key=lambda c: (c.stripe, c.index))
+        if len(pool) != len(chunks):
+            raise SimulationError("rot candidate chunks must be unique")
+        if max_per_stripe is None:
+            picks = rng.choice(len(pool), size=total, replace=False)
+            victims = [pool[int(i)] for i in picks]
+        else:
+            per_stripe: dict[int, int] = {}
+            victims = []
+            for i in rng.permutation(len(pool)):
+                chunk = pool[int(i)]
+                if per_stripe.get(chunk.stripe, 0) >= max_per_stripe:
+                    continue
+                per_stripe[chunk.stripe] = per_stripe.get(chunk.stripe, 0) + 1
+                victims.append(chunk)
+                if len(victims) == total:
+                    break
+            if len(victims) < total:
+                raise SimulationError(
+                    f"cannot place {total} rot victims with at most "
+                    f"{max_per_stripe} per stripe"
+                )
+        for chunk in victims[:corruptions]:
+            self.corrupt(float(rng.uniform(0, horizon)), chunk, flips=flips)
+        for chunk in victims[corruptions:]:
+            self.sector_error(float(rng.uniform(0, horizon)), chunk)
+        return self
+
     def churn(
         self,
         *,
@@ -243,19 +358,31 @@ class FaultTimeline(HookEmitter):
 
     # -- arming ---------------------------------------------------------------
 
-    def arm(self, cluster: Cluster, injector: FailureInjector | None = None) -> None:
+    def arm(
+        self,
+        cluster: Cluster,
+        injector: FailureInjector | None = None,
+        chunk_store: ChunkStore | None = None,
+    ) -> None:
         """Schedule every event at ``cluster.sim.now + event.at``.
 
         ``injector`` is required when the schedule contains crashes (a
-        crash must know which chunks the dead node held).
+        crash must know which chunks the dead node held); ``chunk_store``
+        is required when it contains corruption or sector-error events
+        (bit-rot damages actual stored bytes).
         """
         if self._armed:
             raise SimulationError("fault timeline already armed")
         if injector is None and any(isinstance(e, NodeCrash) for e in self.events):
             raise SimulationError("crash events need a FailureInjector")
+        if chunk_store is None and any(
+            isinstance(e, (SilentCorruption, LatentSectorError)) for e in self.events
+        ):
+            raise SimulationError("corruption events need a ChunkStore")
         self._armed = True
         self.cluster = cluster
         self.injector = injector
+        self.chunk_store = chunk_store
         base = cluster.sim.now
         for event in self.sorted_events():
             cluster.sim.call_at(base + event.at, self._execute, event)
@@ -290,6 +417,10 @@ class FaultTimeline(HookEmitter):
             )
         elif isinstance(event, FlowInterruption):
             self._run_interruption(event)
+        elif isinstance(event, SilentCorruption):
+            self._run_corruption(event)
+        elif isinstance(event, LatentSectorError):
+            self._run_sector_error(event)
         else:  # pragma: no cover - the event set is closed
             raise SimulationError(f"unknown fault event {event!r}")
 
@@ -305,6 +436,13 @@ class FaultTimeline(HookEmitter):
             node.all_resources(),
             f"node {event.node_id} crashed",
             tag=REPAIR_TAG,
+        )
+        # Scrub reads crossing the dead node die too (their owner just
+        # paces on to the next chunk; they are not repair work to retry).
+        self.cluster.transfers.fail_crossing(
+            node.all_resources(),
+            f"node {event.node_id} crashed",
+            tag=SCRUB_TAG,
         )
         tracer = get_tracer()
         if tracer.enabled:
@@ -418,6 +556,65 @@ class FaultTimeline(HookEmitter):
             registry.counter("faults.interruptions").inc(len(victims))
         self.emit("fault", self, event=event)
         self.emit("flow_interrupted", self, transfers=victims)
+
+    def _resolve_victim(self, chunk: ChunkId | None) -> ChunkId | None:
+        """The chunk an integrity fault lands on, or None to skip.
+
+        Explicit targets whose payload is gone (their node died and took
+        the bytes with it) are skipped — there is nothing left to rot.
+        Random targets draw from the store's deterministic chunk order.
+        """
+        assert self.chunk_store is not None
+        if chunk is not None:
+            return chunk if self.chunk_store.has(chunk) else None
+        candidates = list(self.chunk_store.chunks())
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    def _run_corruption(self, event: SilentCorruption) -> None:
+        assert self.chunk_store is not None
+        chunk = self._resolve_victim(event.chunk)
+        if chunk is None:
+            return
+        positions = self.chunk_store.corrupt(
+            chunk, rng=self.rng, flips=event.flips
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.corruption",
+                track="faults",
+                stripe=chunk.stripe,
+                index=chunk.index,
+                flips=len(positions),
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.corruption.injected").inc()
+            registry.counter("faults.corruption.bytes_flipped").inc(len(positions))
+        self.emit("fault", self, event=event)
+        self.emit("corrupted", self, chunk=chunk, positions=positions)
+
+    def _run_sector_error(self, event: LatentSectorError) -> None:
+        assert self.chunk_store is not None
+        chunk = self._resolve_victim(event.chunk)
+        if chunk is None or self.chunk_store.is_unreadable(chunk):
+            return
+        self.chunk_store.mark_unreadable(chunk)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.sector_error",
+                track="faults",
+                stripe=chunk.stripe,
+                index=chunk.index,
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.corruption.sector_errors").inc()
+        self.emit("fault", self, event=event)
+        self.emit("sector_error", self, chunk=chunk)
 
     # -- helpers --------------------------------------------------------------
 

@@ -1,0 +1,19 @@
+"""End-to-end data integrity (``repro.integrity``).
+
+Checksums make silent corruption detectable; the background scrubber
+makes detection *timely* (at the cost of scrub traffic contending with
+foreground I/O); verified repair makes reconstruction trustworthy (a
+corrupted helper is swapped out and the plan rebuilt through the same
+candidate machinery ChameleonEC uses for stragglers).
+"""
+
+from repro.integrity.checksum import payload_checksum
+from repro.integrity.ledger import IntegrityLedger, IntegrityRecord
+from repro.integrity.scrubber import Scrubber
+
+__all__ = [
+    "IntegrityLedger",
+    "IntegrityRecord",
+    "Scrubber",
+    "payload_checksum",
+]

@@ -1,0 +1,128 @@
+"""Bookkeeping for the corruption lifecycle: injected → detected → restored.
+
+The ledger is the experiment's measuring instrument. Fault injection
+records when each chunk went bad (wired to the timeline's ``corrupted``
+/ ``sector_error`` hooks); detectors — the scrubber, verified repair,
+verified degraded reads — record when and how the damage was caught;
+verified write-backs record restoration. Detection latency (detect time
+minus inject time) is the headline metric of ``exp15_scrub``.
+
+All timestamps are virtual-clock seconds. The ledger never *causes*
+anything — quarantining and re-repair are the detectors' job — it only
+remembers, so tests and experiments can assert "every injected
+corruption was detected" without scraping hooks themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.stripes import ChunkId
+    from repro.faults.timeline import FaultTimeline
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class IntegrityRecord:
+    """One chunk's trip through the corruption lifecycle."""
+
+    chunk: "ChunkId"
+    kind: str  #: "corruption" or "sector_error"
+    injected_at: float
+    detected_at: float | None = None
+    detected_by: str | None = None  #: "scrub", "repair", or "degraded_read"
+    restored_at: float | None = None
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_at is not None
+
+    @property
+    def detection_latency(self) -> float | None:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.injected_at
+
+
+@dataclass
+class IntegrityLedger:
+    """Virtual-time record of every injection, detection, and restoration."""
+
+    sim: "Simulator"
+    records: dict["ChunkId", IntegrityRecord] = field(default_factory=dict)
+    #: Detections with no matching injection (should stay empty: a
+    #: checksum can only fail after something damaged the bytes).
+    unexplained: list["ChunkId"] = field(default_factory=list)
+
+    def attach(self, timeline: "FaultTimeline") -> None:
+        """Subscribe to a fault timeline's corruption hooks."""
+        timeline.on(
+            "corrupted",
+            lambda _t, chunk, positions: self.record_injection(chunk, "corruption"),
+        )
+        timeline.on(
+            "sector_error",
+            lambda _t, chunk: self.record_injection(chunk, "sector_error"),
+        )
+
+    def record_injection(self, chunk: "ChunkId", kind: str) -> None:
+        """A fault damaged ``chunk`` now (re-damage keeps the first record)."""
+        if chunk not in self.records:
+            self.records[chunk] = IntegrityRecord(
+                chunk=chunk, kind=kind, injected_at=self.sim.now
+            )
+
+    def record_detection(self, chunk: "ChunkId", by: str) -> None:
+        """A detector caught ``chunk``'s damage now (first detection wins)."""
+        record = self.records.get(chunk)
+        if record is None:
+            self.unexplained.append(chunk)
+            return
+        if record.detected_at is None:
+            record.detected_at = self.sim.now
+            record.detected_by = by
+
+    def record_restoration(self, chunk: "ChunkId") -> None:
+        """A verified repair restored ``chunk``'s bytes now."""
+        record = self.records.get(chunk)
+        if record is not None and record.restored_at is None:
+            record.restored_at = self.sim.now
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def injected(self) -> list[IntegrityRecord]:
+        return list(self.records.values())
+
+    @property
+    def detected(self) -> list[IntegrityRecord]:
+        return [r for r in self.records.values() if r.detected]
+
+    @property
+    def undetected(self) -> list[IntegrityRecord]:
+        return [r for r in self.records.values() if not r.detected]
+
+    @property
+    def restored(self) -> list[IntegrityRecord]:
+        return [r for r in self.records.values() if r.restored_at is not None]
+
+    def detection_latencies(self) -> list[float]:
+        """Latency of every detected record, in detection order."""
+        detected = sorted(self.detected, key=lambda r: r.detected_at)
+        return [r.detection_latency for r in detected]
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate counts + mean/max detection latency (for reports)."""
+        latencies = self.detection_latencies()
+        return {
+            "injected": len(self.records),
+            "detected": len(self.detected),
+            "restored": len(self.restored),
+            "unexplained": len(self.unexplained),
+            "mean_detection_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max_detection_latency": max(latencies) if latencies else 0.0,
+        }

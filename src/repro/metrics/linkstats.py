@@ -15,6 +15,11 @@ from repro.sim.resources import Resource
 
 REPAIR_TAG = "repair"
 
+#: Tag for background scrubber traffic. Scrub flows are deliberately
+#: *not* REPAIR_TAG: a node crash must not tear them down as lost repair
+#: work, and FlowInterruption events target repair transfers only.
+SCRUB_TAG = "scrub"
+
 
 @dataclass
 class LinkWindowSeries:

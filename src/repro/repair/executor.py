@@ -28,6 +28,13 @@ def execute_plan(plan: RepairPlan, chunk_data: dict[int, np.ndarray]) -> np.ndar
     for src in plan.sources:
         if src.chunk_index not in chunk_data:
             raise PlanError(f"missing data for chunk index {src.chunk_index}")
+    lengths = {
+        src.chunk_index: len(chunk_data[src.chunk_index]) for src in plan.sources
+    }
+    if len(set(lengths.values())) > 1:
+        raise PlanError(
+            f"mixed payload lengths across helpers: {sorted(lengths.items())}"
+        )
     with get_tracer().span(
         "decode.chunk",
         track="compute",
@@ -38,7 +45,7 @@ def execute_plan(plan: RepairPlan, chunk_data: dict[int, np.ndarray]) -> np.ndar
 
 
 def _execute(plan: RepairPlan, chunk_data: dict[int, np.ndarray]) -> np.ndarray:
-    length = len(next(iter(chunk_data.values())))
+    length = len(chunk_data[plan.sources[0].chunk_index])
 
     # payload(x) = coeff_x * C_x  XOR  (payloads of all children of x),
     # computed bottom-up over the in-tree.

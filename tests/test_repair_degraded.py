@@ -3,9 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.cluster import Cluster, FailureInjector, MB, mbs, place_stripes
+from repro.cluster import (
+    ChunkId,
+    Cluster,
+    FailureInjector,
+    MB,
+    drop_node_chunks,
+    encode_and_load,
+    mbs,
+    place_stripes,
+)
 from repro.codes import RSCode
 from repro.errors import SchedulingError
+from repro.integrity import IntegrityLedger
 from repro.monitor import BandwidthMonitor
 from repro.repair import (
     ConventionalRepair,
@@ -126,3 +136,67 @@ class TestRunDegradedRead:
         read = DegradedRead(chunk=None, client=1, issued_at=0.0)
         with pytest.raises(SchedulingError):
             _ = read.latency
+
+
+class TestVerifiedDegradedRead:
+    def verified_env(self, seed=0):
+        cluster, store, injector = make_env(seed=seed)
+        chunk_store = encode_and_load(store, payload_size=64, seed=seed + 1)
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        drop_node_chunks(chunk_store, store, 0)
+        return cluster, store, injector, chunk_store, chunk
+
+    def test_clean_read_delivers_exact_bytes(self):
+        cluster, store, injector, cs, chunk = self.verified_env()
+        read, _ = run_degraded_read(
+            cluster, store, injector, chunk, cluster.clients[0].id,
+            algorithm=ConventionalRepair(seed=4), slice_size=SLICE,
+            chunk_store=cs,
+        )
+        cluster.sim.run()
+        assert read.attempts == 1 and not read.detected
+        assert np.array_equal(read.payload, cs.truth(chunk))
+
+    def test_corrupt_helper_detected_and_routed_around(self):
+        # Predict the first plan with a same-seeded probe rng, corrupt
+        # one of its helpers: the verified read must quarantine it, fall
+        # back to an alternate plan, and still deliver correct bytes.
+        cluster, store, injector, cs, chunk = self.verified_env(seed=3)
+        probe = degraded_read_plan(
+            ConventionalRepair(seed=8), chunk, store, injector,
+            cluster.clients[0].id,
+        )
+        bad = ChunkId(chunk.stripe, probe.sources[0].chunk_index)
+        cs.corrupt(bad, rng=np.random.default_rng(5))
+        ledger = IntegrityLedger(cluster.sim)
+        ledger.record_injection(bad, "corruption")
+        read, _ = run_degraded_read(
+            cluster, store, injector, chunk, cluster.clients[0].id,
+            algorithm=ConventionalRepair(seed=8), slice_size=SLICE,
+            chunk_store=cs, ledger=ledger,
+        )
+        cluster.sim.run()
+        assert read.detected == [bad]
+        assert read.attempts == 2
+        assert injector.is_quarantined(bad)
+        assert np.array_equal(read.payload, cs.truth(chunk))
+        assert ledger.records[bad].detected_by == "degraded_read"
+        # The fallback plan cannot have reused the quarantined helper.
+
+    def test_exhausting_attempts_raises(self):
+        cluster, store, injector, cs, chunk = self.verified_env(seed=3)
+        probe = degraded_read_plan(
+            ConventionalRepair(seed=8), chunk, store, injector,
+            cluster.clients[0].id,
+        )
+        bad = ChunkId(chunk.stripe, probe.sources[0].chunk_index)
+        cs.corrupt(bad, rng=np.random.default_rng(6))
+        read, _ = run_degraded_read(
+            cluster, store, injector, chunk, cluster.clients[0].id,
+            algorithm=ConventionalRepair(seed=8), slice_size=SLICE,
+            chunk_store=cs, max_attempts=1,
+        )
+        with pytest.raises(SchedulingError, match="exhausted"):
+            cluster.sim.run()
+        assert read.payload is None
