@@ -57,6 +57,7 @@ from repro.codes import (
 from repro.core import ChameleonRepair, ChameleonRepairIO
 from repro.errors import (
     CodingError,
+    ConvergenceError,
     PlanError,
     ReproError,
     SchedulingError,
@@ -66,6 +67,7 @@ from repro.events import HookEmitter
 from repro.experiments.config import ExperimentConfig
 from repro.faults import (
     BandwidthDegradation,
+    CoordinatorCrash,
     FaultEvent,
     FaultTimeline,
     FlowInterruption,
@@ -80,6 +82,14 @@ from repro.integrity import (
     IntegrityRecord,
     Scrubber,
     payload_checksum,
+)
+from repro.journal import (
+    Journal,
+    JournalRecord,
+    JournalState,
+    Lease,
+    RecoveryPlan,
+    reconcile,
 )
 from repro.metrics import (
     LatencyRecorder,
@@ -131,6 +141,8 @@ __all__ = [
     "Cluster",
     "CodingError",
     "ConventionalRepair",
+    "ConvergenceError",
+    "CoordinatorCrash",
     "ECPipe",
     "ErasureCode",
     "ExperimentConfig",
@@ -142,16 +154,21 @@ __all__ = [
     "HookEmitter",
     "IntegrityLedger",
     "IntegrityRecord",
+    "Journal",
+    "JournalRecord",
+    "JournalState",
     "KeyRouter",
     "LRCCode",
     "LatencyRecorder",
     "LatentSectorError",
+    "Lease",
     "LinkStatsCollector",
     "Node",
     "NodeCrash",
     "PPR",
     "PlanError",
     "ProgressTracker",
+    "RecoveryPlan",
     "ReliabilityModel",
     "RepairBoost",
     "RepairEquation",
@@ -183,5 +200,6 @@ __all__ = [
     "mbs",
     "payload_checksum",
     "place_stripes",
+    "reconcile",
     "ycsb_a",
 ]

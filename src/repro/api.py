@@ -38,6 +38,9 @@ from repro.experiments.scenario import ALL_ALGORITHMS, Scenario
 from repro.faults.timeline import FaultTimeline
 from repro.integrity.ledger import IntegrityLedger
 from repro.integrity.scrubber import Scrubber
+from repro.journal import Journal, reconcile
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.repair.dataplane import DataPlane
 from repro.traffic.traces import TRACE_FACTORIES
 
@@ -88,6 +91,11 @@ class Testbed(Scenario):
         self.ledger: IntegrityLedger | None = None
         self.dataplane: DataPlane | None = None
         self.scrubber: Scrubber | None = None
+        self.journal: Journal | None = None
+        #: ``id(repairer) -> (algorithm name, user overrides)`` so a
+        #: crashed coordinator can be rebuilt identically on recovery.
+        self._repairer_specs: dict[int, tuple[str, dict]] = {}
+        self._coordinator_crash_time: float | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -111,8 +119,12 @@ class Testbed(Scenario):
         enabled it is also attached to the data plane (verified repair)
         and the scrubber (detections become its work).
         """
+        spec = (name, dict(overrides))
+        if self.journal is not None:
+            overrides.setdefault("journal", self.journal)
         repairer = super().make_repairer(name, **overrides)
         self.repairers.append(repairer)
+        self._repairer_specs[id(repairer)] = spec
         if self.dataplane is not None:
             self.dataplane.attach(repairer)
         if self.scrubber is not None:
@@ -122,6 +134,147 @@ class Testbed(Scenario):
     def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
         """Advance virtual time until ``predicate()`` holds (or ``limit``)."""
         return run_sim_until(self.cluster, predicate, step, limit)
+
+    # -- durability & failover -------------------------------------------------
+
+    def enable_journal(
+        self,
+        *,
+        lease_duration: float = 60.0,
+        checkpoint_interval: int | None = None,
+    ) -> Journal:
+        """Give the repair control plane a write-ahead journal.
+
+        Every repairer built through :meth:`make_repairer` *afterwards*
+        writes through the journal at each state transition, which is
+        what makes :meth:`recover_repairer` possible after a
+        :class:`~repro.faults.CoordinatorCrash`. Idempotent; returns the
+        journal. Call before building repairers.
+        """
+        if self.journal is None:
+            self.journal = Journal(
+                self.cluster.sim,
+                lease_duration=lease_duration,
+                checkpoint_interval=checkpoint_interval,
+            )
+        return self.journal
+
+    def inject_coordinator_crash(
+        self, at: float, *, recover_after: float | None = None
+    ) -> FaultTimeline:
+        """Kill the repair coordinator ``at`` seconds from now.
+
+        Installs a one-event fault timeline whose
+        :class:`~repro.faults.CoordinatorCrash` tears down every started
+        repairer (see :meth:`recover_repairer`). With ``recover_after``
+        set (the mean-time-to-recovery of the control plane), a
+        replacement coordinator is brought up automatically that many
+        seconds after the crash. Requires :meth:`enable_journal` first.
+        """
+        if self.journal is None:
+            raise ReproError(
+                "coordinator crash recovery needs a journal; call "
+                "enable_journal() (or builder .with_journal()) first"
+            )
+        timeline = FaultTimeline(seed=self.config.seed + 29).crash_coordinator(at)
+        self.install_faults(timeline)
+        if recover_after is not None:
+            if recover_after < 0:
+                raise ReproError("recover_after cannot be negative")
+            self.cluster.sim.schedule(at + recover_after, self._auto_recover)
+        return timeline
+
+    def _on_coordinator_crash(self, _timeline, event) -> None:
+        crashed_any = False
+        for repairer in self.repairers:
+            if getattr(repairer, "_started", False) and not getattr(
+                repairer, "crashed", False
+            ):
+                repairer.crash()
+                crashed_any = True
+        if not crashed_any:
+            return
+        self._coordinator_crash_time = self.cluster.sim.now
+        if self.journal is not None:
+            # The failure detector observed the death: fence the epoch
+            # so its leases are provably void at recovery time.
+            self.journal.fence()
+
+    def _auto_recover(self) -> None:
+        if any(getattr(r, "crashed", False) for r in self.repairers):
+            self.recover_repairer()
+
+    def recover_repairer(self, name: str | None = None, **overrides):
+        """Replay the journal and resume repair after a coordinator crash.
+
+        Fences the dead epoch, replays the (compacted) journal into the
+        state the dead coordinator had made durable, reconciles that
+        intent against :class:`~repro.cluster.datastore.ChunkStore`
+        ground truth (when integrity is enabled), and starts a fresh
+        coordinator — same algorithm and options as the crashed one
+        unless ``name`` / ``overrides`` say otherwise — on exactly the
+        chunks that still need repairing. Chunks the journal proves
+        committed are never re-executed.
+
+        Returns the new repairer, with the
+        :class:`~repro.journal.RecoveryPlan` attached as
+        ``repairer.recovery``.
+        """
+        if self.journal is None:
+            raise ReproError(
+                "recovery needs a journal; call enable_journal() (or "
+                "builder .with_journal()) before repairing"
+            )
+        crashed = [r for r in self.repairers if getattr(r, "crashed", False)]
+        if not crashed:
+            raise ReproError("no crashed repairer to recover")
+        self.journal.fence()
+        state = self.journal.replay()
+        plan = reconcile(
+            state, now=self.cluster.sim.now, chunk_store=self.chunk_store
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "journal.replay",
+                track="journal",
+                records=len(self.journal),
+                epoch=plan.epoch,
+                **plan.summary(),
+            )
+        old = crashed[-1]
+        spec_name, spec_overrides = self._repairer_specs.get(
+            id(old), (getattr(old, "name", "ChameleonEC"), {})
+        )
+        for repairer in crashed:
+            self.repairers.remove(repairer)
+            self._repairer_specs.pop(id(repairer), None)
+        merged = dict(spec_overrides)
+        merged.update(overrides)
+        replacement = self.make_repairer(name or spec_name, **merged)
+        replacement.recovery = plan
+        # repair() opens a new journal epoch, so requeued chunks get
+        # fresh leases owned by the replacement.
+        replacement.repair(plan.requeue)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("journal.recovery.completed").inc()
+            registry.counter("journal.recovery.requeued_chunks").inc(
+                len(plan.requeue)
+            )
+            if self._coordinator_crash_time is not None:
+                registry.histogram("journal.recovery.latency_s").observe(
+                    self.cluster.sim.now - self._coordinator_crash_time
+                )
+        if tracer.enabled:
+            tracer.instant(
+                "journal.resume",
+                track="journal",
+                algorithm=name or spec_name,
+                requeued=len(plan.requeue),
+            )
+        self._coordinator_crash_time = None
+        return replacement
 
     # -- data integrity --------------------------------------------------------
 
@@ -229,6 +382,7 @@ class Testbed(Scenario):
         land in the ledger.
         """
         timeline.on("node_crashed", self._crash_to_repairers)
+        timeline.on("coordinator_crashed", self._on_coordinator_crash)
         if self.ledger is not None:
             self.ledger.attach(timeline)
         timeline.arm(
@@ -272,6 +426,7 @@ class TestbedBuilder:
         self._integrity: dict | None = None
         self._scrubber: dict | None = None
         self._bitrot: dict | None = None
+        self._journal: dict | None = None
 
     # -- knobs ----------------------------------------------------------------
 
@@ -348,6 +503,19 @@ class TestbedBuilder:
         self._scrubber = {"rate_mbs": rate_mbs, "passes": passes}
         return self
 
+    def with_journal(
+        self,
+        *,
+        lease_duration: float = 60.0,
+        checkpoint_interval: int | None = None,
+    ) -> "TestbedBuilder":
+        """Journal the repair control plane (see :meth:`Testbed.enable_journal`)."""
+        self._journal = {
+            "lease_duration": lease_duration,
+            "checkpoint_interval": checkpoint_interval,
+        }
+        return self
+
     def with_bitrot(
         self,
         *,
@@ -380,6 +548,8 @@ class TestbedBuilder:
     def build(self) -> Testbed:
         """Materialise the testbed (+ any requested integrity machinery)."""
         testbed = self._testbed_cls(self.config())
+        if self._journal is not None:
+            testbed.enable_journal(**self._journal)
         if self._integrity is not None:
             testbed.enable_integrity(**self._integrity)
         if self._bitrot is not None:

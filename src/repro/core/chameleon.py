@@ -80,6 +80,7 @@ class ChameleonRepair(HookEmitter):
         max_retries: int = 3,
         retry_backoff: float = 0.5,
         chunk_timeout: float | None = None,
+        journal=None,
         on_all_done: Callable[["ChameleonRepair"], None] | None = None,
     ) -> None:
         if t_phase <= 0:
@@ -113,6 +114,9 @@ class ChameleonRepair(HookEmitter):
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.chunk_timeout = chunk_timeout
+        #: Optional :class:`repro.journal.Journal` written through at
+        #: every state transition (None = durability off).
+        self.journal = journal
         deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.dispatcher = TaskDispatcher(
             injector, monitor, chunk_size=chunk_size, io_aware=io_aware
@@ -134,6 +138,7 @@ class ChameleonRepair(HookEmitter):
         self._paused: list[PlanInstance] = []
         self._started = False
         self._finished = False
+        self._crashed = False
         self._phase_admitted = 0
         self._phase_budget_exhausted = False
         self._replanned: set[ChunkId] = set()
@@ -151,12 +156,21 @@ class ChameleonRepair(HookEmitter):
         """True once every requested chunk is repaired."""
         return self._finished
 
+    @property
+    def crashed(self) -> bool:
+        """True after :meth:`crash` — the coordinator is permanently inert."""
+        return self._crashed
+
     def repair(self, chunks: list[ChunkId]) -> None:
         """Begin phase-based repair of ``chunks`` (then run the simulator)."""
         if self._started:
             raise SchedulingError("coordinator already started")
         self._started = True
         self.pending = self._order_chunks(list(chunks))
+        if self.journal is not None:
+            self.journal.coordinator_started()
+            for chunk in self.pending:
+                self.journal.chunk_enqueued(chunk)
         self.meter.start(self.cluster.sim.now)
         if not self.pending:
             self._finish()
@@ -172,6 +186,10 @@ class ChameleonRepair(HookEmitter):
         had already finished, the phase machinery restarts. Returns the
         chunks actually adopted.
         """
+        if self._crashed:
+            # A dead coordinator adopts nothing; the journal already
+            # holds whatever was in flight, and recovery will requeue it.
+            return []
         if not self._started:
             raise SchedulingError("coordinator not started; pass chunks to repair()")
         busy = (
@@ -187,6 +205,8 @@ class ChameleonRepair(HookEmitter):
             if chunk in self.completed:
                 self.completed.remove(chunk)
             self._replanned.discard(chunk)
+            if self.journal is not None:
+                self.journal.chunk_enqueued(chunk)
         self.pending = self._order_chunks(self.pending + adopted)
         self.emit("chunks_added", self, chunks=list(adopted))
         if self._finished:
@@ -196,6 +216,30 @@ class ChameleonRepair(HookEmitter):
         else:
             self._admit_chunks()
         return adopted
+
+    def crash(self) -> None:
+        """Tear the coordinator down mid-run (control-plane crash).
+
+        Cancels every in-flight plan instance *silently* — a dead
+        coordinator must not run its own retry or straggler logic —
+        which kills all their live transfers, then empties the phase and
+        tracking state so every pending timer (phase ends, progress
+        checks, retry backoffs, watchdogs) fires into a no-op. The
+        journal (if any) is NOT fenced here: fencing is written by
+        whoever observes the crash (see ``Journal.fence``).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        for instance in list(self.in_flight.values()):
+            instance.cancel()
+        self.in_flight.clear()
+        self.pending.clear()
+        self._retry_wait.clear()
+        self._stripes_busy.clear()
+        self._paused.clear()
+        self.tracker.tasks.clear()
+        self._close_phase_span()
 
     # -- chunk ordering (Section III-D) -------------------------------------------
 
@@ -224,7 +268,7 @@ class ChameleonRepair(HookEmitter):
     # -- phase machinery -----------------------------------------------------------
 
     def _start_phase(self) -> None:
-        if self._finished:
+        if self._finished or self._crashed:
             return
         self.phase_index += 1
         self.dispatcher.begin_phase()
@@ -250,6 +294,8 @@ class ChameleonRepair(HookEmitter):
         same reconstruction-stream limit real systems apply; completed
         chunks free slots for further admissions within the same phase.
         """
+        if self._crashed:
+            return
         remaining: list[ChunkId] = []
         pending = list(self.pending)
         self.pending = []
@@ -293,6 +339,13 @@ class ChameleonRepair(HookEmitter):
         self.store.relocate(dispatch.chunk, plan.destination)
         self._stripes_busy.add(dispatch.chunk.stripe)
         self._attempts[dispatch.chunk] = self._attempts.get(dispatch.chunk, 0) + 1
+        if self.journal is not None:
+            self.journal.plan_chosen(
+                dispatch.chunk,
+                destination=plan.destination,
+                sources=[s.node_id for s in plan.sources],
+                attempt=self._attempts[dispatch.chunk],
+            )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(
@@ -319,6 +372,8 @@ class ChameleonRepair(HookEmitter):
         )
         self.in_flight[dispatch.chunk] = instance
         instance.start()
+        if self.journal is not None:
+            self.journal.reads_issued(dispatch.chunk, transfers=len(instance.uploads))
         if self.chunk_timeout is not None:
             self.cluster.sim.schedule(
                 self.chunk_timeout, self._check_timeout, dispatch.chunk, instance
@@ -332,6 +387,8 @@ class ChameleonRepair(HookEmitter):
     # -- recovery ----------------------------------------------------------------
 
     def _check_timeout(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self._crashed:
+            return
         if self.in_flight.get(chunk) is not instance or instance.done:
             return
         tracer = get_tracer()
@@ -350,6 +407,8 @@ class ChameleonRepair(HookEmitter):
     def _instance_failed(
         self, chunk: ChunkId, instance: PlanInstance, reason: str
     ) -> None:
+        if self._crashed:
+            return
         if self.in_flight.get(chunk) is not instance:
             return
         self.in_flight.pop(chunk, None)
@@ -357,6 +416,8 @@ class ChameleonRepair(HookEmitter):
         if instance in self._paused:
             self._paused.remove(instance)
         self._replanned.discard(chunk)
+        if self.journal is not None:
+            self.journal.attempt_failed(chunk, reason)
         registry = get_registry()
         if registry.enabled:
             registry.counter("repair.retry.failures").inc()
@@ -384,7 +445,7 @@ class ChameleonRepair(HookEmitter):
         self._admit_chunks()
 
     def _retry(self, chunk: ChunkId) -> None:
-        if chunk not in self._retry_wait:
+        if self._crashed or chunk not in self._retry_wait:
             return
         self._retry_wait.discard(chunk)
         self.retries += 1
@@ -397,6 +458,8 @@ class ChameleonRepair(HookEmitter):
 
     def _mark_lost(self, chunk: ChunkId) -> None:
         self.lost.append(chunk)
+        if self.journal is not None:
+            self.journal.chunk_lost(chunk)
         registry = get_registry()
         if registry.enabled:
             registry.counter("repair.chunks_lost").inc()
@@ -416,6 +479,7 @@ class ChameleonRepair(HookEmitter):
     def _maybe_finish(self) -> None:
         if (
             self._started
+            and not self._crashed
             and not self._finished
             and not self.pending
             and not self.in_flight
@@ -424,11 +488,19 @@ class ChameleonRepair(HookEmitter):
             self._finish()
 
     def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self._crashed:
+            return
         self.in_flight.pop(chunk, None)
         self._stripes_busy.discard(chunk.stripe)
         if instance in self._paused:
             self._paused.remove(instance)
         self.completed.append(chunk)
+        if self.journal is not None:
+            # Commit BEFORE announcing: if a chunk_repaired subscriber
+            # (the integrity data plane) rejects the bytes, its requeue
+            # re-opens the chunk with a later enqueue record.
+            self.journal.decode_verified(chunk)
+            self.journal.writeback_committed(chunk)
         self.meter.record_repair(self.cluster.sim.now, self.chunk_size)
         for callback in self.on_chunk_repaired:
             callback(chunk, instance.plan)
@@ -440,7 +512,7 @@ class ChameleonRepair(HookEmitter):
             self._maybe_finish()
 
     def _end_phase(self) -> None:
-        if self._finished:
+        if self._finished or self._crashed:
             return
         # Postponed tasks that never got their restart window resume now.
         for instance in self._paused:
@@ -479,7 +551,9 @@ class ChameleonRepair(HookEmitter):
     # -- straggler-aware re-scheduling (Section III-C) -------------------------------
 
     def _progress_check(self, phase_end: float) -> None:
-        if self._finished or self.cluster.sim.now >= phase_end - 1e-9:
+        if self._finished or self._crashed:
+            return
+        if self.cluster.sim.now >= phase_end - 1e-9:
             return
         now = self.cluster.sim.now
         for task in self.tracker.delayed_tasks(now):
@@ -581,6 +655,10 @@ class ChameleonRepair(HookEmitter):
         # Fresh estimates: close the monitor window now so the straggler's
         # load is visible to the new dispatch.
         self.monitor.sample()
+        if self.journal is not None:
+            # Release the lease: the old attempt is about to be cancelled
+            # and the chunk either relaunches (new plan_chosen) or queues.
+            self.journal.attempt_failed(chunk, "replan")
         instance.cancel()
         self.in_flight.pop(chunk, None)
         self._stripes_busy.discard(chunk.stripe)

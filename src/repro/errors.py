@@ -19,3 +19,12 @@ class PlanError(ReproError):
 
 class SchedulingError(ReproError):
     """The scheduler could not dispatch tasks or build a plan."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A bounded simulation run hit its time limit before converging.
+
+    Subclasses :class:`RuntimeError` as well so callers can catch either
+    the package hierarchy or the builtin; existing ``except ReproError``
+    handlers keep working.
+    """

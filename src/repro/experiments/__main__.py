@@ -151,6 +151,14 @@ def _exp15(scale, seed):
              HEADERS, rows(results))]
 
 
+def _exp16(scale, seed):
+    from repro.experiments.exp16_failover import HEADERS, rows, run_exp16
+
+    results = run_exp16(scale=scale, seed=seed)
+    return [("Exp#16: coordinator failover (crash timing vs repair inflation)",
+             HEADERS, rows(results))]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -189,7 +197,7 @@ EXPERIMENTS = {
     "exp01": _exp01, "exp02": _exp02, "exp03": _exp03, "exp04": _exp04,
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
-    "exp13": _exp13, "exp14": _exp14, "exp15": _exp15,
+    "exp13": _exp13, "exp14": _exp14, "exp15": _exp15, "exp16": _exp16,
 }
 
 

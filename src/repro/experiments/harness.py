@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ConvergenceError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import Scenario
 from repro.obs.tracer import get_tracer
@@ -23,6 +23,10 @@ def run_sim_until(cluster, predicate, step: float = 5.0, limit: float = MAX_SIM_
     queue, nothing can change except the clock itself, so it advances
     directly to ``limit`` (satisfying any time-based predicate on the
     way out).
+
+    Raises :class:`repro.errors.ConvergenceError` (a ``RuntimeError``
+    subclass) when ``limit`` is reached with the predicate still false —
+    never returns silently with the condition unmet.
     """
     while not predicate() and cluster.sim.now < limit:
         next_time = cluster.sim.peek_next_time()
@@ -32,7 +36,12 @@ def run_sim_until(cluster, predicate, step: float = 5.0, limit: float = MAX_SIM_
         target = min(max(cluster.sim.now + step, next_time), limit)
         cluster.sim.run(until=target)
     if not predicate():
-        raise ReproError(f"simulation did not converge within {limit} s")
+        raise ConvergenceError(
+            f"simulation hit the {limit} s virtual-time limit at "
+            f"t={cluster.sim.now} with the predicate still false; "
+            "raise `limit` or check for stalled work "
+            "(e.g. a crashed coordinator that was never recovered)"
+        )
     return cluster.sim.now
 
 

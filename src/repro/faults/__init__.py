@@ -23,6 +23,7 @@ fault and every retry lands in the Chrome trace and the ``faults.*`` /
 from repro.faults.outcomes import ToleranceExceeded
 from repro.faults.timeline import (
     BandwidthDegradation,
+    CoordinatorCrash,
     FaultEvent,
     FaultTimeline,
     FlowInterruption,
@@ -34,6 +35,7 @@ from repro.faults.timeline import (
 
 __all__ = [
     "BandwidthDegradation",
+    "CoordinatorCrash",
     "FaultEvent",
     "FaultTimeline",
     "FlowInterruption",

@@ -24,8 +24,13 @@ Event kinds:
   fails, no hook fires toward detectors — only the ``corrupted``
   bookkeeping hook for ledgers). Detection is entirely up to checksum
   verification (scrubber, verified repair, degraded reads);
-* :class:`LatentSectorError` — the chunk's sectors stop reading back:
-  every subsequent checksum verification of the chunk fails.
+* :class:`LatentSectorError` — the chunk's sectors become unreadable:
+  every subsequent checksum verification of the chunk fails;
+* :class:`CoordinatorCrash` — the repair *control plane* dies: the live
+  repair coordinator is torn down mid-run (all its in-flight plan
+  transfers cancelled), leaving recovery to whatever durable state it
+  journalled (see :mod:`repro.journal` and
+  :meth:`repro.api.Testbed.recover_repairer`).
 
 Overlapping degradations compose multiplicatively and restore exactly:
 the timeline tracks each resource's base capacity and the stack of
@@ -121,6 +126,19 @@ class LatentSectorError(FaultEvent):
     chunk: ChunkId | None = None
 
 
+@dataclass(frozen=True)
+class CoordinatorCrash(FaultEvent):
+    """The repair coordinator process dies ``at`` seconds after arming.
+
+    A *control-plane* fault: no stored bytes are harmed and no node
+    dies, but the coordinator's in-memory scheduling state evaporates
+    and every repair transfer it owned is cancelled. The timeline only
+    emits the ``coordinator_crashed`` hook — tearing down the actual
+    repairer object(s) is the subscriber's job (the
+    :class:`repro.api.Testbed` wires this to ``repairer.crash()``).
+    """
+
+
 @dataclass
 class _Throttle:
     """Bookkeeping for one resource under one or more active faults."""
@@ -146,6 +164,7 @@ class FaultTimeline(HookEmitter):
         "flow_interrupted",
         "corrupted",
         "sector_error",
+        "coordinator_crashed",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -236,6 +255,11 @@ class FaultTimeline(HookEmitter):
     ) -> "FaultTimeline":
         """Schedule a latent sector error (``chunk=None`` = random victim)."""
         self._add(LatentSectorError(at=self._check_at(at), chunk=chunk))
+        return self
+
+    def crash_coordinator(self, at: float) -> "FaultTimeline":
+        """Schedule a repair control-plane crash."""
+        self._add(CoordinatorCrash(at=self._check_at(at)))
         return self
 
     def rot(
@@ -421,6 +445,8 @@ class FaultTimeline(HookEmitter):
             self._run_corruption(event)
         elif isinstance(event, LatentSectorError):
             self._run_sector_error(event)
+        elif isinstance(event, CoordinatorCrash):
+            self._run_coordinator_crash(event)
         else:  # pragma: no cover - the event set is closed
             raise SimulationError(f"unknown fault event {event!r}")
 
@@ -615,6 +641,16 @@ class FaultTimeline(HookEmitter):
             registry.counter("faults.corruption.sector_errors").inc()
         self.emit("fault", self, event=event)
         self.emit("sector_error", self, chunk=chunk)
+
+    def _run_coordinator_crash(self, event: CoordinatorCrash) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("fault.coordinator_crash", track="faults")
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.coordinator_crashes").inc()
+        self.emit("fault", self, event=event)
+        self.emit("coordinator_crashed", self, event=event)
 
     # -- helpers --------------------------------------------------------------
 

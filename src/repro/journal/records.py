@@ -1,0 +1,227 @@
+"""Record kinds, leases and the replayable state of the repair journal.
+
+The journal is an append-only sequence of :class:`JournalRecord`\\ s;
+:class:`JournalState` is the deterministic fold over that sequence. The
+two are kept in lock-step by :class:`repro.journal.wal.Journal` (every
+append is applied immediately), and recovery rebuilds the same state by
+replaying the records — the core exactly-once argument is that *both
+paths run the identical transition function* (:meth:`JournalState.apply`).
+
+Chunk ownership is lease-based: a ``plan_chosen`` record grants the
+writing coordinator epoch a time-bounded lease on the chunk. A
+recovering coordinator may re-execute an in-flight chunk only when its
+lease is provably void — the owning epoch is older than the current one,
+the epoch was fenced by a ``coordinator_crash`` record, or the lease
+expired on the virtual clock (see :meth:`JournalState.reexecutable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.stripes import ChunkId
+
+# -- record kinds ---------------------------------------------------------------
+
+#: A coordinator incarnation opened ``payload["epoch"]``.
+COORDINATOR_START = "coordinator_start"
+#: The current incarnation was declared dead (fences all its leases).
+COORDINATOR_CRASH = "coordinator_crash"
+#: ``chunk`` entered the work queue (initial batch, crash adoption,
+#: or an integrity-reject requeue; re-opens a committed chunk).
+ENQUEUED = "chunk_enqueued"
+#: A plan was chosen for ``chunk``; grants a lease until
+#: ``payload["lease_expires"]``.
+PLAN_CHOSEN = "plan_chosen"
+#: The chunk's helper-read transfers were released into the simulator.
+READS_ISSUED = "reads_issued"
+#: The in-flight attempt failed (``payload["reason"]``); lease released.
+ATTEMPT_FAILED = "attempt_failed"
+#: The decoded payload passed checksum verification.
+DECODE_VERIFIED = "decode_verified"
+#: The reconstruction was written back; the chunk is repaired.
+COMMITTED = "writeback_committed"
+#: The chunk was written off (tolerance exceeded / retries exhausted).
+LOST = "chunk_lost"
+#: Compacting snapshot of the full state (``payload["state"]``).
+CHECKPOINT = "checkpoint"
+
+RECORD_KINDS = (
+    COORDINATOR_START,
+    COORDINATOR_CRASH,
+    ENQUEUED,
+    PLAN_CHOSEN,
+    READS_ISSUED,
+    ATTEMPT_FAILED,
+    DECODE_VERIFIED,
+    COMMITTED,
+    LOST,
+    CHECKPOINT,
+)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """Time-bounded ownership of one in-flight chunk repair."""
+
+    chunk: ChunkId
+    epoch: int
+    acquired_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        """True once the virtual clock passed the lease's expiry."""
+        return now >= self.expires_at
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One append-only journal entry, stamped with virtual time."""
+
+    seq: int
+    at: float
+    kind: str
+    chunk: ChunkId | None = None
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (ChunkIds become ``[stripe, index]`` pairs)."""
+        out = {"seq": self.seq, "at": self.at, "kind": self.kind}
+        if self.chunk is not None:
+            out["chunk"] = [self.chunk.stripe, self.chunk.index]
+        if self.payload:
+            out["payload"] = self.payload
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalRecord":
+        chunk = data.get("chunk")
+        return cls(
+            seq=data["seq"],
+            at=data["at"],
+            kind=data["kind"],
+            chunk=ChunkId(*chunk) if chunk is not None else None,
+            payload=dict(data.get("payload", {})),
+        )
+
+
+def _chunk_key(chunk: ChunkId) -> list[int]:
+    return [chunk.stripe, chunk.index]
+
+
+class JournalState:
+    """The fold of a record sequence: who owns what, what is done.
+
+    The four chunk collections are insertion-ordered (plain dicts used
+    as ordered sets), so replay reproduces the coordinator's work order
+    deterministically. ``leases`` maps every in-flight chunk to its
+    current :class:`Lease`.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.fenced = False  # current epoch declared dead?
+        self.pending: dict[ChunkId, int] = {}
+        self.leases: dict[ChunkId, Lease] = {}
+        self.committed: dict[ChunkId, int] = {}
+        self.lost: dict[ChunkId, int] = {}
+
+    # -- transitions ----------------------------------------------------------
+
+    def apply(self, record: JournalRecord) -> None:
+        """Advance the state by one record (replay == live bookkeeping)."""
+        kind, chunk, seq = record.kind, record.chunk, record.seq
+        if kind == COORDINATOR_START:
+            self.epoch = record.payload["epoch"]
+            self.fenced = False
+        elif kind == COORDINATOR_CRASH:
+            self.fenced = True
+        elif kind == ENQUEUED:
+            self.committed.pop(chunk, None)
+            self.lost.pop(chunk, None)
+            self.leases.pop(chunk, None)
+            self.pending[chunk] = seq
+        elif kind == PLAN_CHOSEN:
+            self.pending.pop(chunk, None)
+            self.leases[chunk] = Lease(
+                chunk=chunk,
+                epoch=self.epoch,
+                acquired_at=record.at,
+                expires_at=record.payload["lease_expires"],
+            )
+        elif kind == ATTEMPT_FAILED:
+            self.leases.pop(chunk, None)
+            self.pending[chunk] = seq
+        elif kind == COMMITTED:
+            self.pending.pop(chunk, None)
+            self.leases.pop(chunk, None)
+            self.committed[chunk] = seq
+        elif kind == LOST:
+            self.pending.pop(chunk, None)
+            self.leases.pop(chunk, None)
+            self.committed.pop(chunk, None)
+            self.lost[chunk] = seq
+        elif kind == CHECKPOINT:
+            self.restore(record.payload["state"])
+        elif kind in (READS_ISSUED, DECODE_VERIFIED):
+            pass  # markers: no ownership transition
+        else:
+            raise ValueError(f"unknown journal record kind {kind!r}")
+
+    # -- lease queries --------------------------------------------------------
+
+    def reexecutable(self, chunk: ChunkId, now: float) -> bool:
+        """May a recovering coordinator safely re-execute ``chunk``?
+
+        True for chunks with no lease, and for leased chunks whose lease
+        is void: granted by an older epoch, fenced by a crash record, or
+        expired on the virtual clock. A live lease of an unfenced current
+        epoch means the owner may still be running — re-executing could
+        double-repair.
+        """
+        lease = self.leases.get(chunk)
+        if lease is None:
+            return True
+        return lease.epoch < self.epoch or self.fenced or lease.expired(now)
+
+    def open_work(self) -> list[ChunkId]:
+        """Chunks neither committed nor lost, in journal order."""
+        return list(self.pending) + list(self.leases)
+
+    # -- checkpoint snapshots --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot restoring this exact state."""
+        return {
+            "epoch": self.epoch,
+            "fenced": self.fenced,
+            "pending": [_chunk_key(c) for c in self.pending],
+            "leases": [
+                {
+                    "chunk": _chunk_key(lease.chunk),
+                    "epoch": lease.epoch,
+                    "acquired_at": lease.acquired_at,
+                    "expires_at": lease.expires_at,
+                }
+                for lease in self.leases.values()
+            ],
+            "committed": [_chunk_key(c) for c in self.committed],
+            "lost": [_chunk_key(c) for c in self.lost],
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Replace the state wholesale with a checkpoint snapshot."""
+        self.epoch = snap["epoch"]
+        self.fenced = snap["fenced"]
+        self.pending = {ChunkId(*c): -1 for c in snap["pending"]}
+        self.leases = {
+            ChunkId(*entry["chunk"]): Lease(
+                chunk=ChunkId(*entry["chunk"]),
+                epoch=entry["epoch"],
+                acquired_at=entry["acquired_at"],
+                expires_at=entry["expires_at"],
+            )
+            for entry in snap["leases"]
+        }
+        self.committed = {ChunkId(*c): -1 for c in snap["committed"]}
+        self.lost = {ChunkId(*c): -1 for c in snap["lost"]}

@@ -1,0 +1,239 @@
+"""The write-ahead journal of the repair control plane.
+
+:class:`Journal` makes the coordinator's in-memory scheduling state —
+batches, in-flight plans, retry outcomes, losses — durable against a
+*control-plane* crash: :class:`repro.repair.runner.RepairRunner` and
+:class:`repro.core.chameleon.ChameleonRepair` write through it at every
+state transition, so a recovering coordinator can replay the log and
+resume with exactly-once semantics (see :mod:`repro.journal.recovery`).
+
+Design notes:
+
+* **Virtual-time WAL.** Records are stamped with the simulator clock;
+  appending consumes no virtual time (a real deployment would batch
+  fsyncs — the simulated repair timeline is the journal-off timeline).
+* **Epoch fencing + leases.** Each coordinator incarnation opens an
+  epoch; every ``plan_chosen`` record carries a lease. Recovery first
+  fences the dead epoch (a ``coordinator_crash`` record), which voids
+  its leases; leases also lapse on their own after ``lease_duration``
+  virtual seconds, covering the no-failure-detector case.
+* **Compacting checkpoints.** ``checkpoint()`` snapshots the folded
+  state and drops every earlier record, bounding replay work; with
+  ``checkpoint_interval`` set the journal checkpoints itself every N
+  appends.
+* **Durability escape hatch.** ``to_json()``/``from_json()`` round-trip
+  the full log (or its compacted tail), standing in for the on-disk /
+  replicated store a production coordinator would use.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.stripes import ChunkId
+from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.journal.records import (
+    ATTEMPT_FAILED,
+    CHECKPOINT,
+    COMMITTED,
+    COORDINATOR_CRASH,
+    COORDINATOR_START,
+    DECODE_VERIFIED,
+    ENQUEUED,
+    LOST,
+    PLAN_CHOSEN,
+    READS_ISSUED,
+    JournalRecord,
+    JournalState,
+)
+
+
+class Journal:
+    """Append-only, replayable log of repair control-plane transitions."""
+
+    def __init__(
+        self,
+        sim=None,
+        *,
+        lease_duration: float = 60.0,
+        checkpoint_interval: int | None = None,
+    ) -> None:
+        if lease_duration <= 0:
+            raise SimulationError("lease_duration must be positive")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise SimulationError("checkpoint_interval must be >= 1 (or None)")
+        self.sim = sim
+        self.lease_duration = lease_duration
+        self.checkpoint_interval = checkpoint_interval
+        self.records: list[JournalRecord] = []
+        #: Live fold of the record sequence (what replay would rebuild).
+        self.state = JournalState()
+        self.epoch = 0
+        #: Records dropped by compaction (they live on inside the last
+        #: checkpoint's snapshot).
+        self.compacted_records = 0
+        self._seq = 0
+        self._since_checkpoint = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    # -- the append path ------------------------------------------------------
+
+    def append(
+        self, kind: str, chunk: ChunkId | None = None, **payload
+    ) -> JournalRecord:
+        """Append one record, fold it into the state, maybe checkpoint."""
+        record = JournalRecord(
+            seq=self._seq, at=self._now(), kind=kind, chunk=chunk, payload=payload
+        )
+        self._seq += 1
+        self.records.append(record)
+        self.state.apply(record)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("journal.appends").inc()
+            registry.counter(f"journal.records.{kind}").inc()
+        if kind != CHECKPOINT:
+            self._since_checkpoint += 1
+            if (
+                self.checkpoint_interval is not None
+                and self._since_checkpoint >= self.checkpoint_interval
+            ):
+                self.checkpoint()
+        return record
+
+    # -- write-through API (called by the repairers) ---------------------------
+
+    def coordinator_started(self) -> int:
+        """Open a new coordinator epoch; voids every older lease."""
+        self.epoch += 1
+        self.append(COORDINATOR_START, epoch=self.epoch)
+        return self.epoch
+
+    def fence(self) -> None:
+        """Record the current incarnation's death (voids its leases).
+
+        Written by whoever *observes* the crash — the fault timeline's
+        handler or a recovering coordinator — never by the dead process.
+        Idempotent per epoch.
+        """
+        if self.state.fenced:
+            return
+        self.append(COORDINATOR_CRASH, epoch=self.epoch)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("journal.fence", track="journal", epoch=self.epoch)
+
+    def chunk_enqueued(self, chunk: ChunkId) -> None:
+        self.append(ENQUEUED, chunk)
+
+    def plan_chosen(
+        self, chunk: ChunkId, *, destination: int, sources: list[int], attempt: int
+    ) -> None:
+        self.append(
+            PLAN_CHOSEN,
+            chunk,
+            destination=destination,
+            sources=list(sources),
+            attempt=attempt,
+            lease_expires=self._now() + self.lease_duration,
+        )
+
+    def reads_issued(self, chunk: ChunkId, *, transfers: int) -> None:
+        self.append(READS_ISSUED, chunk, transfers=transfers)
+
+    def attempt_failed(self, chunk: ChunkId, reason: str) -> None:
+        self.append(ATTEMPT_FAILED, chunk, reason=reason)
+
+    def decode_verified(self, chunk: ChunkId) -> None:
+        self.append(DECODE_VERIFIED, chunk)
+
+    def writeback_committed(self, chunk: ChunkId) -> None:
+        self.append(COMMITTED, chunk)
+
+    def chunk_lost(self, chunk: ChunkId) -> None:
+        self.append(LOST, chunk)
+
+    # -- checkpoints & compaction ----------------------------------------------
+
+    def checkpoint(self) -> JournalRecord:
+        """Snapshot the folded state and drop every earlier record."""
+        record = self.append(CHECKPOINT, state=self.state.snapshot())
+        dropped = len(self.records) - 1
+        self.records = [record]
+        self.compacted_records += dropped
+        self._since_checkpoint = 0
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("journal.checkpoints").inc()
+            registry.counter("journal.records_compacted").inc(dropped)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "journal.checkpoint",
+                track="journal",
+                compacted=dropped,
+                live=len(self.records),
+            )
+        return record
+
+    # -- recovery -------------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Rebuild the state by folding the (compacted) record sequence.
+
+        This is exactly what a freshly started coordinator reading the
+        durable log would compute; the result is independent of the live
+        :attr:`state` object (a unit-testable determinism invariant).
+        """
+        state = JournalState()
+        for record in self.records:
+            state.apply(record)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("journal.recovery.replays").inc()
+            registry.counter("journal.recovery.replayed_records").inc(
+                len(self.records)
+            )
+        return state
+
+    # -- durability round-trip -------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the journal (records + cursor) to JSON."""
+        return json.dumps(
+            {
+                "lease_duration": self.lease_duration,
+                "checkpoint_interval": self.checkpoint_interval,
+                "epoch": self.epoch,
+                "seq": self._seq,
+                "compacted_records": self.compacted_records,
+                "records": [r.to_dict() for r in self.records],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str, sim=None) -> "Journal":
+        """Rebuild a journal (and its folded state) from :meth:`to_json`."""
+        data = json.loads(text)
+        journal = cls(
+            sim,
+            lease_duration=data["lease_duration"],
+            checkpoint_interval=data["checkpoint_interval"],
+        )
+        journal.epoch = data["epoch"]
+        journal._seq = data["seq"]
+        journal.compacted_records = data["compacted_records"]
+        journal.records = [JournalRecord.from_dict(r) for r in data["records"]]
+        for record in journal.records:
+            journal.state.apply(record)
+        return journal
+
+    def __len__(self) -> int:
+        """Records currently held (post-compaction)."""
+        return len(self.records)

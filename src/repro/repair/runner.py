@@ -13,6 +13,16 @@ plan after an exponential backoff. A chunk whose stripe lost more nodes
 than the code tolerates is *lost*: the run still completes and reports a
 :class:`~repro.faults.outcomes.ToleranceExceeded` outcome instead of
 raising mid-simulation.
+
+Durability (``repro.journal``): given a ``journal=``, the runner writes
+through it at every state transition (enqueue, plan chosen, reads
+issued, attempt failed, commit, loss), so a *control-plane* crash —
+:meth:`RepairRunner.crash`, driven by
+:class:`repro.faults.CoordinatorCrash` — can be recovered by replaying
+the journal into a fresh runner (see
+:meth:`repro.api.Testbed.recover_repairer`). A crashed runner goes
+inert: its in-flight plan instances are cancelled (all their REPAIR_TAG
+transfers die) and every pending timer fires into a no-op.
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ class RepairRunner(HookEmitter):
         max_retries: int = 3,
         retry_backoff: float = 0.5,
         chunk_timeout: float | None = None,
+        journal=None,
         on_all_done: Callable[["RepairRunner"], None] | None = None,
     ) -> None:
         if concurrency < 1:
@@ -86,6 +97,9 @@ class RepairRunner(HookEmitter):
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.chunk_timeout = chunk_timeout
+        #: Optional :class:`repro.journal.Journal` written through at
+        #: every state transition (None = durability off).
+        self.journal = journal
         deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.meter = RepairThroughputMeter()
         #: Fired as (chunk, final plan) when a chunk's repair completes;
@@ -102,6 +116,8 @@ class RepairRunner(HookEmitter):
         self._retry_wait: set[ChunkId] = set()
         self._stripes_busy: set[int] = set()
         self._started = False
+        self._finished = False
+        self._crashed = False
 
     @property
     def done(self) -> bool:
@@ -113,12 +129,21 @@ class RepairRunner(HookEmitter):
             and not self._retry_wait
         )
 
+    @property
+    def crashed(self) -> bool:
+        """True after :meth:`crash` — the runner is permanently inert."""
+        return self._crashed
+
     def repair(self, chunks: list[ChunkId]) -> None:
         """Start repairing ``chunks`` (returns immediately; run the sim)."""
         if self._started:
             raise SchedulingError("runner already started")
         self._started = True
         self.pending = list(chunks)
+        if self.journal is not None:
+            self.journal.coordinator_started()
+            for chunk in self.pending:
+                self.journal.chunk_enqueued(chunk)
         self.meter.start(self.cluster.sim.now)
         if not self.pending:
             self._finish()
@@ -133,6 +158,10 @@ class RepairRunner(HookEmitter):
         sat on the crashed node is moved back from ``completed`` into the
         work queue. Returns the chunks actually adopted.
         """
+        if self._crashed:
+            # A dead coordinator adopts nothing; the journal already
+            # holds whatever was in flight, and recovery will requeue it.
+            return []
         if not self._started:
             raise SchedulingError("runner not started; pass chunks to repair()")
         busy = (
@@ -149,15 +178,40 @@ class RepairRunner(HookEmitter):
             if chunk in self.completed:
                 self.completed.remove(chunk)
             self.pending.append(chunk)
+            if self.journal is not None:
+                self.journal.chunk_enqueued(chunk)
         if reopened:
             # The batch had finished; un-finish the meter so throughput
             # accounts for the extended run.
             self.meter.finished_at = None
+            self._finished = False
         self.emit("chunks_added", self, chunks=list(adopted))
         self._fill()
         return adopted
 
+    def crash(self) -> None:
+        """Tear the coordinator down mid-run (control-plane crash).
+
+        Cancels every in-flight plan instance *silently* — a dead
+        coordinator must not run its own retry logic — which kills all
+        their live transfers, then empties the scheduling state so every
+        pending timer (retry backoffs, watchdogs) fires into a no-op.
+        The journal (if any) is NOT fenced here: fencing is written by
+        whoever observes the crash (see ``Journal.fence``).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        for instance in list(self.in_flight.values()):
+            instance.cancel()
+        self.in_flight.clear()
+        self.pending.clear()
+        self._retry_wait.clear()
+        self._stripes_busy.clear()
+
     def _fill(self) -> None:
+        if self._crashed:
+            return
         launched = True
         while launched and len(self.in_flight) < self.concurrency:
             launched = False
@@ -189,6 +243,13 @@ class RepairRunner(HookEmitter):
         self.store.relocate(chunk, plan.destination)
         self._stripes_busy.add(chunk.stripe)
         self._attempts[chunk] = self._attempts.get(chunk, 0) + 1
+        if self.journal is not None:
+            self.journal.plan_chosen(
+                chunk,
+                destination=plan.destination,
+                sources=[s.node_id for s in plan.sources],
+                attempt=self._attempts[chunk],
+            )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.instant(
@@ -213,6 +274,8 @@ class RepairRunner(HookEmitter):
         )
         self.in_flight[chunk] = instance
         instance.start()
+        if self.journal is not None:
+            self.journal.reads_issued(chunk, transfers=len(instance.uploads))
         if self.chunk_timeout is not None:
             self.cluster.sim.schedule(
                 self.chunk_timeout, self._check_timeout, chunk, instance
@@ -221,6 +284,8 @@ class RepairRunner(HookEmitter):
     # -- recovery ----------------------------------------------------------------
 
     def _check_timeout(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self._crashed:
+            return
         if self.in_flight.get(chunk) is not instance or instance.done:
             return
         tracer = get_tracer()
@@ -239,10 +304,14 @@ class RepairRunner(HookEmitter):
     def _instance_failed(
         self, chunk: ChunkId, instance: PlanInstance, reason: str
     ) -> None:
+        if self._crashed:
+            return
         if self.in_flight.get(chunk) is not instance:
             return
         self.in_flight.pop(chunk, None)
         self._stripes_busy.discard(chunk.stripe)
+        if self.journal is not None:
+            self.journal.attempt_failed(chunk, reason)
         registry = get_registry()
         if registry.enabled:
             registry.counter("repair.retry.failures").inc()
@@ -272,7 +341,7 @@ class RepairRunner(HookEmitter):
         self._maybe_finish()
 
     def _retry(self, chunk: ChunkId) -> None:
-        if chunk not in self._retry_wait:
+        if self._crashed or chunk not in self._retry_wait:
             return
         self._retry_wait.discard(chunk)
         self.retries += 1
@@ -291,6 +360,8 @@ class RepairRunner(HookEmitter):
 
     def _mark_lost(self, chunk: ChunkId) -> None:
         self.lost.append(chunk)
+        if self.journal is not None:
+            self.journal.chunk_lost(chunk)
         registry = get_registry()
         if registry.enabled:
             registry.counter("repair.chunks_lost").inc()
@@ -310,9 +381,17 @@ class RepairRunner(HookEmitter):
     # -- completion ----------------------------------------------------------------
 
     def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        if self._crashed:
+            return
         self.in_flight.pop(chunk, None)
         self._stripes_busy.discard(chunk.stripe)
         self.completed.append(chunk)
+        if self.journal is not None:
+            # Commit BEFORE announcing: if a chunk_repaired subscriber
+            # (the integrity data plane) rejects the bytes, its requeue
+            # re-opens the chunk with a later enqueue record.
+            self.journal.decode_verified(chunk)
+            self.journal.writeback_committed(chunk)
         self.meter.record_repair(self.cluster.sim.now, self.chunk_size)
         for callback in self.on_chunk_repaired:
             callback(chunk, instance.plan)
@@ -322,9 +401,16 @@ class RepairRunner(HookEmitter):
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        if self.done:
+        if not self._crashed and self.done:
             self._finish()
 
     def _finish(self) -> None:
+        # Guard against double emission: _retry can reach _finish through
+        # a failed _launch (plan construction lost its last survivor →
+        # _mark_lost → _maybe_finish) and then call _maybe_finish again
+        # on its own way out.
+        if self._finished:
+            return
+        self._finished = True
         self.meter.finish(self.cluster.sim.now)
         self.emit("all_done", self)

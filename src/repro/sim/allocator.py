@@ -64,10 +64,14 @@ def _progressive_fill(
     freezes its flows at that share, subtracts their usage everywhere,
     and continues.
     """
+    # ``users`` values are insertion-ordered dicts used as sets: iteration
+    # order (bottleneck tie-breaks, freeze order, hence ``rates`` insertion
+    # order) must not depend on object identity hashes, or two identical
+    # runs diverge in how they order same-instant flow completions.
     rates: dict[AllocatableFlow, float] = {}
     n_unfixed = 0
     remaining: dict[Resource, float] = {}
-    users: dict[Resource, set[AllocatableFlow]] = {}
+    users: dict[Resource, dict[AllocatableFlow, None]] = {}
     for flow in flows:
         resources = flow_resources[flow]
         if not resources:
@@ -79,9 +83,9 @@ def _progressive_fill(
             members = users.get(res)
             if members is None:
                 remaining[res] = res.capacity
-                users[res] = {flow}
+                users[res] = {flow: None}
             else:
-                members.add(flow)
+                members[flow] = None
 
     inf = float("inf")
     while n_unfixed:
@@ -90,7 +94,7 @@ def _progressive_fill(
         for res, members in users.items():
             # Clamp float drift: repeated subtraction can push a fully
             # used resource a hair below zero, which must not turn into
-            # a negative share. (Every set in ``users`` is non-empty:
+            # a negative share. (Every entry in ``users`` is non-empty:
             # emptied entries are deleted in the freeze loop below.)
             cap = remaining[res]
             share = cap / len(members) if cap > 0.0 else 0.0
@@ -113,7 +117,7 @@ def _progressive_fill(
                 if members is None:
                     continue
                 remaining[res] -= best_share
-                members.discard(flow)
+                members.pop(flow, None)
                 if not members:
                     del users[res]
     return rates
@@ -140,13 +144,17 @@ class RateAllocator:
     """
 
     def __init__(self) -> None:
+        # Insertion-ordered dicts stand in for sets throughout: flows and
+        # resources hash by identity, so genuine sets would iterate in
+        # address order and make component traversal — and with it the
+        # ordering of same-instant completions — vary between runs.
         self._flow_resources: dict[AllocatableFlow, tuple[Resource, ...]] = {}
-        self._users: dict[Resource, set[AllocatableFlow]] = {}
-        self._dirty: set[Resource] = set()
+        self._users: dict[Resource, dict[AllocatableFlow, None]] = {}
+        self._dirty: dict[Resource, None] = {}
         self._all_dirty = False
         # Flows added since the last recompute: they need a rate (and the
         # scheduler needs to index their ETA) even if nothing else moved.
-        self._fresh: set[AllocatableFlow] = set()
+        self._fresh: dict[AllocatableFlow, None] = {}
 
     def __len__(self) -> int:
         return len(self._flow_resources)
@@ -162,31 +170,31 @@ class RateAllocator:
             return
         unique = _unique_resources(flow)
         self._flow_resources[flow] = unique
-        self._fresh.add(flow)
+        self._fresh[flow] = None
         for res in unique:
-            self._users.setdefault(res, set()).add(flow)
-            self._dirty.add(res)
+            self._users.setdefault(res, {})[flow] = None
+            self._dirty[res] = None
 
     def remove_flow(self, flow: AllocatableFlow) -> None:
         """Unregister ``flow`` (completed or cancelled); resources dirty."""
         unique = self._flow_resources.pop(flow, None)
         if unique is None:
             return
-        self._fresh.discard(flow)
+        self._fresh.pop(flow, None)
         for res in unique:
             members = self._users.get(res)
             if members is not None:
-                members.discard(flow)
+                members.pop(flow, None)
                 if not members:
                     del self._users[res]
-            self._dirty.add(res)
+            self._dirty[res] = None
 
     def mark_dirty(self, *resources: Resource) -> None:
         """Mark capacity-changed resources; no arguments marks everything."""
         if not resources:
             self._all_dirty = True
         else:
-            self._dirty.update(resources)
+            self._dirty.update(dict.fromkeys(resources))
 
     def recompute(
         self, on_touch: Callable[[AllocatableFlow], None] | None = None
@@ -204,10 +212,10 @@ class RateAllocator:
         """
         flow_resources = self._flow_resources
         if self._all_dirty:
-            comp_flows = set(flow_resources)
+            comp_flows: dict[AllocatableFlow, None] = dict.fromkeys(flow_resources)
         else:
             users = self._users
-            comp_flows = set()
+            comp_flows = {}
             visited: set[Resource] = set()
             stack = [res for res in self._dirty if res in users]
             while stack:
@@ -217,7 +225,7 @@ class RateAllocator:
                 visited.add(res)
                 for flow in users[res]:
                     if flow not in comp_flows:
-                        comp_flows.add(flow)
+                        comp_flows[flow] = None
                         for other in flow_resources[flow]:
                             if other not in visited:
                                 stack.append(other)
@@ -225,7 +233,9 @@ class RateAllocator:
                 # Resource-less fresh flows sit in no user set; they
                 # still need their (unbounded) rate assigned once.
                 comp_flows.update(
-                    flow for flow in self._fresh if not flow_resources[flow]
+                    dict.fromkeys(
+                        flow for flow in self._fresh if not flow_resources[flow]
+                    )
                 )
         self._dirty.clear()
         self._all_dirty = False

@@ -106,7 +106,10 @@ class FlowScheduler:
 
     def __init__(self, sim: Simulator, allocator: RateAllocator | None = None) -> None:
         self.sim = sim
-        self.active: set[Flow] = set()
+        # Insertion-ordered dict used as a set: Flow hashes by identity,
+        # and iteration (settle_now's float accumulation order) must be
+        # reproducible run-to-run for deterministic replay.
+        self.active: dict[Flow, None] = {}
         self.allocator = allocator if allocator is not None else RateAllocator()
         self._recompute_event = None
         self._completion_event = None
@@ -138,7 +141,7 @@ class FlowScheduler:
             # so callers observe a consistent ordering).
             self.sim.schedule(0.0, self._complete_flow, flow)
             return
-        self.active.add(flow)
+        self.active[flow] = None
         self.allocator.add_flow(flow)
         self._request_recompute()
 
@@ -164,7 +167,7 @@ class FlowScheduler:
             registry.counter("flows.cancelled").inc()
         if flow in self.active:
             self._settle_flow(flow)
-            self.active.discard(flow)
+            self.active.pop(flow, None)
             self.allocator.remove_flow(flow)
             flow._eta = None
             self._request_recompute()
@@ -299,7 +302,7 @@ class FlowScheduler:
                 # the rate it was computed with is still in force.
                 flow._eta = None
         for flow in finished:
-            self.active.discard(flow)
+            self.active.pop(flow, None)
             self.allocator.remove_flow(flow)
             flow._eta = None
         for flow in finished:

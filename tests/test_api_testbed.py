@@ -162,6 +162,24 @@ class TestFaultWiring:
         assert testbed.repairers == [repairer]
 
 
+class TestRunUntilLimit:
+    def test_limit_raises_convergence_error(self):
+        """A predicate that never turns true must surface as a clear
+        RuntimeError at the limit, not an infinite loop or a bare None."""
+        from repro.errors import ConvergenceError
+
+        testbed = TestbedBuilder().scaled(0.05).build()
+        with pytest.raises(ConvergenceError, match="limit"):
+            testbed.run_until(lambda: False, step=1.0, limit=3.0)
+
+    def test_satisfied_predicate_returns_the_clock(self):
+        testbed = TestbedBuilder().scaled(0.05).build()
+        end = testbed.run_until(
+            lambda: testbed.cluster.sim.now >= 2.0, step=1.0, limit=10.0
+        )
+        assert end >= 2.0
+
+
 class TestReExports:
     @pytest.mark.parametrize(
         "name",

@@ -71,6 +71,23 @@ class TestRunSimUntil:
         with pytest.raises(ReproError):
             run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
 
+    def test_timeout_is_a_runtime_error_with_guidance(self):
+        """Hitting the virtual-time limit raises ConvergenceError — a
+        RuntimeError callers can catch generically — whose message names
+        the limit, the clock, and the likely causes."""
+        from repro.errors import ConvergenceError
+        from repro.experiments.scenario import Scenario
+
+        scenario = Scenario(tiny_config())
+        with pytest.raises(ConvergenceError) as excinfo:
+            run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
+        assert isinstance(excinfo.value, RuntimeError)
+        assert isinstance(excinfo.value, ReproError)
+        message = str(excinfo.value)
+        assert "5.0" in message  # the limit that was hit
+        assert "limit" in message
+        assert "crashed coordinator" in message  # points at the usual stall
+
     def test_skips_to_next_event_instead_of_stepping(self):
         # A single event far in the future: the old fixed-step loop
         # needed distance/step run() calls; the new loop jumps straight

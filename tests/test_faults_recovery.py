@@ -216,6 +216,103 @@ class TestRetryMachinery:
         assert repairer.lost == []
 
 
+class TestRetryTimeoutInteraction:
+    """Regression battery for the watchdog/retry identity guards.
+
+    A watchdog scheduled at launch time holds a reference to that
+    attempt's :class:`PlanInstance`. Once a retry relaunches the chunk,
+    the stale timer must not shoot down the new attempt, a duplicate
+    failure report for the dead instance must not schedule a second
+    retry, and a spurious retry timer must not double-launch — the
+    ``in_flight.get(chunk) is instance`` identity guards and the
+    ``_retry_wait`` membership check are what these tests pin down.
+    """
+
+    def test_stale_watchdog_spares_the_relaunched_attempt(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        repairer = make_runner(
+            cluster, store, injector, chunk_timeout=500.0, retry_backoff=0.5
+        )
+        repairer.repair([chunk])
+        first = repairer.in_flight[chunk]
+        first.fail("injected helper loss")
+        cluster.sim.run(until=cluster.sim.now + 1.0)  # past the backoff
+        second = repairer.in_flight[chunk]
+        assert second is not first
+        # The attempt-1 watchdog fires long after the relaunch: the
+        # identity guard must keep it away from attempt 2.
+        repairer._check_timeout(chunk, first)
+        assert repairer.in_flight.get(chunk) is second
+        assert run_until_done(cluster, repairer)
+        assert repairer.completed == [chunk] and repairer.lost == []
+        assert repairer.retries == 1
+
+    def test_watchdog_is_inert_after_completion(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        repairer = make_runner(cluster, store, injector, chunk_timeout=500.0)
+        repairer.repair([chunk])
+        instance = repairer.in_flight[chunk]
+        assert run_until_done(cluster, repairer)
+        failed = []
+        repairer.on("chunk_failed", lambda r, **kw: failed.append(kw["chunk"]))
+        repairer._check_timeout(chunk, instance)
+        assert failed == [] and repairer.completed == [chunk]
+
+    def test_duplicate_failure_report_cannot_double_retry(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        repairer = make_runner(cluster, store, injector, retry_backoff=0.5)
+        repairer.repair([chunk])
+        first = repairer.in_flight[chunk]
+        first.fail("injected")
+        assert chunk in repairer._retry_wait
+        # A second failure report for the same dead instance (a watchdog
+        # racing the flow-failure callback) must be dropped, not queue a
+        # second backoff timer.
+        repairer._instance_failed(chunk, first, "duplicate report")
+        cluster.sim.run(until=cluster.sim.now + 1.0)
+        assert repairer.retries == 1
+        assert repairer.in_flight.get(chunk) is not None
+        assert run_until_done(cluster, repairer)
+        assert repairer.completed == [chunk]
+
+    def test_spurious_retry_timer_is_a_noop(self):
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunk = report.failed_chunks[0]
+        repairer = make_runner(cluster, store, injector)
+        repairer.repair([chunk])
+        instance = repairer.in_flight[chunk]
+        repairer._retry(chunk)  # chunk never entered _retry_wait
+        assert repairer.retries == 0
+        assert repairer.in_flight[chunk] is instance
+        assert chunk not in repairer.pending
+
+    def test_all_done_fires_exactly_once_when_retries_exhaust(self):
+        """Losing the last chunks through the retry path must emit
+        ``all_done`` exactly once (the ``_finished`` latch): _retry can
+        reach _finish through a failed launch and again on its way out."""
+        cluster, store, injector = make_env()
+        report = injector.fail_nodes([0])
+        chunks = report.failed_chunks[:3]
+        repairer = make_runner(
+            cluster, store, injector,
+            max_retries=1, retry_backoff=0.2, chunk_timeout=0.01,
+        )
+        done_events = []
+        repairer.on("all_done", lambda r: done_events.append(cluster.sim.now))
+        repairer.repair(chunks)
+        run_until_done(cluster, repairer, limit=100.0, step=1.0)
+        assert repairer.done
+        assert set(repairer.lost) == set(chunks)
+        assert len(done_events) == 1
+
+
 class TestAddChunks:
     def test_add_before_start_rejected(self):
         cluster, store, injector = make_env()

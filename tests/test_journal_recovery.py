@@ -1,0 +1,191 @@
+"""End-to-end coordinator crash & failover through the Testbed facade.
+
+The acceptance battery of the durable control plane: a seeded
+:class:`~repro.faults.CoordinatorCrash` mid-repair, then
+:meth:`Testbed.recover_repairer` replaying the journal — every chunk
+repaired exactly once, byte-exact, no orphaned REPAIR_TAG flows and no
+leaked progress-tracker state.
+"""
+
+import pytest
+
+from repro.api import Testbed
+from repro.errors import ReproError
+from repro.metrics.linkstats import REPAIR_TAG
+
+
+def make_testbed(seed=7, **journal_kwargs):
+    return (
+        Testbed.builder()
+        .scaled(0.05)
+        .with_options(
+            num_nodes=12, num_clients=2, code="RS(4,2)",
+            chunk_mb=16.0, num_chunks=12,
+        )
+        .with_seed(seed)
+        .with_integrity()
+        .with_journal(**journal_kwargs)
+        .build()
+    )
+
+
+def crash_and_recover(testbed, crash_at, *, algorithm="ChameleonEC", step=0.01):
+    """Fail a node, repair, crash the coordinator, recover; return both."""
+    report = testbed.fail_nodes(1)
+    repairer = testbed.make_repairer(algorithm)
+    repairer.repair(report.failed_chunks)
+    testbed.inject_coordinator_crash(crash_at)
+    testbed.run_until(lambda: repairer.crashed, step=step, limit=1000.0)
+    replacement = testbed.recover_repairer()
+    testbed.run_until(lambda: replacement.done, limit=5000.0)
+    return report, repairer, replacement
+
+
+class TestCrashTeardown:
+    def test_crash_cancels_all_repair_flows(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.inject_coordinator_crash(0.05)
+        testbed.run_until(lambda: repairer.crashed, step=0.01, limit=100.0)
+        assert testbed.cluster.transfers.live_transfers(tag=REPAIR_TAG) == []
+        assert not repairer.in_flight and not repairer.pending
+        assert not repairer.tracker.tasks
+
+    def test_crashed_coordinator_is_inert(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.inject_coordinator_crash(0.05)
+        testbed.run_until(lambda: repairer.crashed, step=0.01, limit=100.0)
+        completed = len(repairer.completed)
+        # Pending timers (phase ends, watchdogs, retries) must all no-op.
+        testbed.cluster.sim.run(until=testbed.cluster.sim.now + 100.0)
+        assert len(repairer.completed) == completed
+        assert not repairer.done  # a dead coordinator never reports success
+        assert repairer.add_chunks(report.failed_chunks) == []
+
+    def test_crash_fences_the_journal(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.inject_coordinator_crash(0.05)
+        testbed.run_until(lambda: repairer.crashed, step=0.01, limit=100.0)
+        assert testbed.journal.state.fenced
+
+
+class TestExactlyOnceRecovery:
+    @pytest.mark.parametrize("algorithm", ["ChameleonEC", "CR", "PPR"])
+    def test_every_chunk_repaired_exactly_once(self, algorithm):
+        testbed = make_testbed()
+        report, old, new = crash_and_recover(testbed, 0.08, algorithm=algorithm)
+        repaired = set(old.completed) | set(new.completed)
+        assert repaired == set(report.failed_chunks)
+        assert not set(old.completed) & set(new.completed)  # no double repair
+        assert not new.lost and not old.lost
+
+    def test_reconstructions_are_byte_exact(self):
+        testbed = make_testbed()
+        report, _, _ = crash_and_recover(testbed, 0.08)
+        for chunk in report.failed_chunks:
+            assert testbed.chunk_store.verify(chunk), chunk
+
+    def test_no_orphaned_flows_or_tracker_state_after_recovery(self):
+        testbed = make_testbed()
+        _, old, new = crash_and_recover(testbed, 0.08)
+        assert testbed.cluster.transfers.live_transfers(tag=REPAIR_TAG) == []
+        for repairer in (old, new):
+            tracker = getattr(repairer, "tracker", None)
+            if tracker is not None:
+                assert all(
+                    t.transfer.done or t.transfer.cancelled
+                    for t in tracker.tasks
+                )
+
+    def test_committed_chunks_are_never_reexecuted(self):
+        testbed = make_testbed()
+        report, old, new = crash_and_recover(testbed, 0.15)
+        plan = new.recovery
+        assert set(plan.completed) == set(old.completed)
+        assert set(plan.requeue) == set(report.failed_chunks) - set(old.completed)
+        assert set(new.completed) == set(plan.requeue)
+
+    def test_crash_after_completion_recovers_to_noop(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.run_until(lambda: repairer.done, limit=5000.0)
+        testbed.inject_coordinator_crash(1.0)
+        testbed.run_until(lambda: repairer.crashed, limit=1000.0)
+        replacement = testbed.recover_repairer()
+        assert replacement.recovery.summary()["requeue"] == 0
+        assert set(replacement.recovery.completed) == set(report.failed_chunks)
+        assert replacement.done
+
+    def test_auto_recovery_via_recover_after(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.inject_coordinator_crash(0.08, recover_after=0.5)
+        testbed.run_until(
+            lambda: len(testbed.repairers) == 1
+            and testbed.repairers[0] is not repairer
+            and testbed.repairers[0].done,
+            step=0.05,
+            limit=5000.0,
+        )
+        new = testbed.repairers[0]
+        assert set(repairer.completed) | set(new.completed) == set(
+            report.failed_chunks
+        )
+        assert not set(repairer.completed) & set(new.completed)
+
+    def test_recovery_works_with_checkpointed_journal(self):
+        testbed = make_testbed(checkpoint_interval=5)
+        report, old, new = crash_and_recover(testbed, 0.08)
+        assert set(old.completed) | set(new.completed) == set(report.failed_chunks)
+        assert testbed.journal.compacted_records > 0
+
+
+class TestRecoveryGuards:
+    def test_recover_without_journal_raises(self):
+        testbed = (
+            Testbed.builder().scaled(0.05)
+            .with_options(num_nodes=10, num_clients=0, code="RS(4,2)",
+                          chunk_mb=8.0, num_chunks=4)
+            .build()
+        )
+        with pytest.raises(ReproError, match="journal"):
+            testbed.recover_repairer()
+
+    def test_crash_injection_without_journal_raises(self):
+        testbed = (
+            Testbed.builder().scaled(0.05)
+            .with_options(num_nodes=10, num_clients=0, code="RS(4,2)",
+                          chunk_mb=8.0, num_chunks=4)
+            .build()
+        )
+        with pytest.raises(ReproError, match="journal"):
+            testbed.inject_coordinator_crash(1.0)
+
+    def test_recover_without_crash_raises(self):
+        testbed = make_testbed()
+        with pytest.raises(ReproError, match="no crashed repairer"):
+            testbed.recover_repairer()
+
+    def test_replacement_keeps_algorithm_and_overrides(self):
+        testbed = make_testbed()
+        report = testbed.fail_nodes(1)
+        repairer = testbed.make_repairer("ChameleonEC", t_phase=9.0)
+        repairer.repair(report.failed_chunks)
+        testbed.inject_coordinator_crash(0.05)
+        testbed.run_until(lambda: repairer.crashed, step=0.01, limit=100.0)
+        replacement = testbed.recover_repairer()
+        assert type(replacement) is type(repairer)
+        assert replacement.t_phase == 9.0
+        assert replacement.journal is testbed.journal
