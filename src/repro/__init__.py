@@ -100,6 +100,8 @@ from repro.metrics import (
 from repro.monitor import BandwidthMonitor, ProgressTracker
 from repro.obs import (
     MetricsRegistry,
+    Series,
+    TimeseriesRecorder,
     Tracer,
     build_report,
     get_tracer,
@@ -117,6 +119,14 @@ from repro.repair import (
     execute_plan,
 )
 from repro.sim import Simulator
+from repro.slo import (
+    RunTelemetry,
+    SLOBreach,
+    SLOEvaluator,
+    SLOReport,
+    SLOSpec,
+    SLOVerdict,
+)
 from repro.traffic import (
     KeyRouter,
     TraceClient,
@@ -177,13 +187,21 @@ __all__ = [
     "RepairThroughputMeter",
     "ReproError",
     "RSCode",
+    "RunTelemetry",
     "SchedulingError",
     "Scrubber",
+    "Series",
     "SilentCorruption",
     "SimulationError",
     "Simulator",
+    "SLOBreach",
+    "SLOEvaluator",
+    "SLOReport",
+    "SLOSpec",
+    "SLOVerdict",
     "Stripe",
     "StripeStore",
+    "TimeseriesRecorder",
     "Testbed",
     "TestbedBuilder",
     "ToleranceExceeded",

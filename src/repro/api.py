@@ -40,7 +40,9 @@ from repro.integrity.ledger import IntegrityLedger
 from repro.integrity.scrubber import Scrubber
 from repro.journal import Journal, reconcile
 from repro.obs.metrics import get_registry
+from repro.obs.timeseries import TimeseriesRecorder
 from repro.obs.tracer import get_tracer
+from repro.slo import RunTelemetry, SLOEvaluator, SLOReport, SLOSpec
 from repro.repair.dataplane import DataPlane
 from repro.traffic.traces import TRACE_FACTORIES
 
@@ -92,6 +94,8 @@ class Testbed(Scenario):
         self.dataplane: DataPlane | None = None
         self.scrubber: Scrubber | None = None
         self.journal: Journal | None = None
+        self.timeseries: TimeseriesRecorder | None = None
+        self.slos: list[SLOSpec] = []
         #: ``id(repairer) -> (algorithm name, user overrides)`` so a
         #: crashed coordinator can be rebuilt identically on recovery.
         self._repairer_specs: dict[int, tuple[str, dict]] = {}
@@ -134,6 +138,98 @@ class Testbed(Scenario):
     def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
         """Advance virtual time until ``predicate()`` holds (or ``limit``)."""
         return run_sim_until(self.cluster, predicate, step, limit)
+
+    # -- observability & SLOs --------------------------------------------------
+
+    def enable_timeseries(self, *, window: float = 5.0) -> TimeseriesRecorder:
+        """Record per-window virtual-time series for this testbed.
+
+        Tracks every cluster resource (per-tag bandwidth attribution:
+        foreground vs repair vs scrub shares of each link/disk), the
+        process-global metrics registry when one is installed, and —
+        once :meth:`start_foreground` runs — the foreground latency
+        recorder (exact per-window P50/P99). Idempotent; returns the
+        recorder. Stop it (``testbed.timeseries.stop()``) before driving
+        the simulator with an unbounded ``run()``.
+        """
+        if self.timeseries is not None:
+            return self.timeseries
+        recorder = TimeseriesRecorder(self.cluster.sim, window=window)
+        resources = []
+        for node in self.cluster.storage_nodes + self.cluster.clients:
+            resources.extend(node.all_resources())
+        recorder.track_resources(resources)
+        registry = get_registry()
+        if registry.enabled:
+            recorder.track_registry(registry)
+        if self.latency is not None:
+            recorder.track_latency(self.latency, name="foreground")
+        recorder.start()
+        self.timeseries = recorder
+        return recorder
+
+    def start_foreground(self, *args, **kwargs) -> None:
+        """Launch clients (see :meth:`Scenario.start_foreground`); with
+        timeseries enabled, the latency recorder joins the sampler."""
+        super().start_foreground(*args, **kwargs)
+        if self.timeseries is not None:
+            self.timeseries.track_latency(self.latency, name="foreground")
+
+    def set_slos(self, *specs: SLOSpec) -> None:
+        """Declare the objectives :meth:`evaluate_slos` will assert."""
+        self.slos = list(specs)
+
+    def evaluate_slos(
+        self,
+        *,
+        specs: list[SLOSpec] | None = None,
+        baseline_p99: float = 0.0,
+    ) -> SLOReport:
+        """Assert the declared SLOs against this run's telemetry.
+
+        Builds a :class:`~repro.slo.RunTelemetry` from the testbed's own
+        state — the timeseries recorder, the integrity ledger, repair
+        timing from every repairer's meter, lost/unverified chunk counts
+        — and evaluates ``specs`` (default: :meth:`set_slos`'s list).
+        ``baseline_p99`` anchors the foreground-inflation ceiling; pass
+        the calm-period P99 (e.g. from pre-chaos windows).
+        """
+        chosen = specs if specs is not None else self.slos
+        if not chosen:
+            raise ReproError(
+                "no SLOs declared; call set_slos() (or builder "
+                ".with_slos()) or pass specs="
+            )
+        started = [
+            r.meter.started_at
+            for r in self.repairers
+            if r.meter.started_at is not None
+        ]
+        finished = [r.meter.finished_at for r in self.repairers]
+        all_done = bool(self.repairers) and all(
+            f is not None for f in finished
+        )
+        lost = sum(len(getattr(r, "lost", ())) for r in self.repairers)
+        unverified = 0
+        if self.chunk_store is not None:
+            unverified = sum(
+                1
+                for chunk in self.chunk_store.chunks()
+                if not self.chunk_store.verify(chunk)
+            )
+        telemetry = RunTelemetry(
+            end_time=self.cluster.sim.now,
+            timeseries=self.timeseries,
+            baseline_p99=baseline_p99,
+            repair_started_at=min(started) if started else None,
+            repair_finished_at=(
+                max(finished) if all_done and finished else None
+            ),
+            chunks_lost=lost,
+            unverified_chunks=unverified,
+            ledger=self.ledger,
+        )
+        return SLOEvaluator(chosen).evaluate(telemetry)
 
     # -- durability & failover -------------------------------------------------
 
@@ -427,6 +523,8 @@ class TestbedBuilder:
         self._scrubber: dict | None = None
         self._bitrot: dict | None = None
         self._journal: dict | None = None
+        self._timeseries: dict | None = None
+        self._slos: list[SLOSpec] = []
 
     # -- knobs ----------------------------------------------------------------
 
@@ -537,6 +635,17 @@ class TestbedBuilder:
         }
         return self
 
+    def with_timeseries(self, *, window: float = 5.0) -> "TestbedBuilder":
+        """Record per-window virtual-time series (see
+        :meth:`Testbed.enable_timeseries`)."""
+        self._timeseries = {"window": window}
+        return self
+
+    def with_slos(self, *specs: SLOSpec) -> "TestbedBuilder":
+        """Declare SLOs for :meth:`Testbed.evaluate_slos` (cumulative)."""
+        self._slos.extend(specs)
+        return self
+
     # -- products -------------------------------------------------------------
 
     def config(self) -> ExperimentConfig:
@@ -548,6 +657,10 @@ class TestbedBuilder:
     def build(self) -> Testbed:
         """Materialise the testbed (+ any requested integrity machinery)."""
         testbed = self._testbed_cls(self.config())
+        if self._timeseries is not None:
+            testbed.enable_timeseries(**self._timeseries)
+        if self._slos:
+            testbed.set_slos(*self._slos)
         if self._journal is not None:
             testbed.enable_journal(**self._journal)
         if self._integrity is not None:

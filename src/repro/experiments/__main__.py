@@ -159,6 +159,24 @@ def _exp16(scale, seed):
              HEADERS, rows(results))]
 
 
+def _exp17(scale, seed, out="BENCH_chaos.json"):
+    from repro.experiments.exp17_chaos import (
+        HEADERS,
+        rows,
+        run_exp17,
+        write_bench,
+    )
+
+    results = run_exp17(scale=scale, seed=seed)
+    payload = write_bench(results, out, scale=scale, seed=seed)
+    gate = "PASS" if payload["passed"] else "FAIL"
+    return [(
+        f"Exp#17: SLO-gated chaos suite — {gate} "
+        f"({payload['breaches_total']} gate breaches, verdicts in {out})",
+        HEADERS, rows(results),
+    )]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -198,6 +216,7 @@ EXPERIMENTS = {
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
     "exp13": _exp13, "exp14": _exp14, "exp15": _exp15, "exp16": _exp16,
+    "exp17": _exp17,
 }
 
 
@@ -217,6 +236,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="print a run report (per-phase breakdown, slowest "
                              "tasks, scheduler decision log)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_chaos.json",
+                        help="exp17 only: where to write the machine-readable "
+                             "SLO verdict document")
     args = parser.parse_args(argv)
 
     if args.trace is not None:
@@ -244,7 +266,12 @@ def main(argv: list[str] | None = None) -> int:
         prev_tracer = set_tracer(tracer)
         prev_registry = set_registry(registry)
     try:
-        for title, headers, rows in EXPERIMENTS[args.experiment](args.scale, args.seed):
+        handler = EXPERIMENTS[args.experiment]
+        if args.experiment == "exp17":
+            tables = handler(args.scale, args.seed, out=args.out)
+        else:
+            tables = handler(args.scale, args.seed)
+        for title, headers, rows in tables:
             print(format_table(title, headers, rows))
             print()
         if observing:

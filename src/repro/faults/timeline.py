@@ -329,6 +329,67 @@ class FaultTimeline(HookEmitter):
             self.sector_error(float(rng.uniform(0, horizon)), chunk)
         return self
 
+    def fluctuate(
+        self,
+        *,
+        nodes: list[int],
+        horizon: float,
+        period: float,
+        amplitude: tuple[float, float] = (0.3, 0.9),
+        fraction: float = 0.5,
+        resources: tuple[str, ...] = ("uplink", "downlink"),
+    ) -> "FaultTimeline":
+        """Generate rapidly-fluctuating link bandwidth over ``[0, horizon)``.
+
+        Models the "rapidly-changing network" regime (see PAPERS.md:
+        *Multi-level Forwarding and Scheduling Recovery in
+        Rapidly-changing Network*): every ``period`` seconds a seeded
+        subset of ``fraction`` × len(nodes) nodes gets its link capacity
+        cut to a factor drawn uniformly from ``amplitude``, recovering
+        before the next wave lands — so the usable bandwidth surface
+        shifts continuously under foreground, repair, and scrub traffic
+        alike. Built entirely from :class:`BandwidthDegradation` events,
+        so overlaps with other faults compose multiplicatively as usual.
+        Two timelines with equal seeds and equal calls build identical
+        waves.
+        """
+        if horizon <= 0:
+            raise SimulationError("fluctuation horizon must be positive")
+        if period <= 0 or period > horizon:
+            raise SimulationError("fluctuation period must lie in (0, horizon]")
+        if not nodes:
+            raise SimulationError("fluctuation needs candidate nodes")
+        low, high = amplitude
+        if not 0 < low <= high <= 1:
+            raise SimulationError("amplitude bounds must satisfy 0 < low <= high <= 1")
+        if not 0 < fraction <= 1:
+            raise SimulationError("fraction must lie in (0, 1]")
+        rng = self.rng
+        victims_per_wave = max(1, int(round(fraction * len(nodes))))
+        waves = int(horizon / period)
+        for wave in range(waves):
+            onset = wave * period
+            # Each wave ends just before the next begins; jitter the
+            # per-node onset inside the first fifth of the period so
+            # waves ramp rather than step.
+            picks = rng.choice(
+                np.asarray(nodes), size=victims_per_wave, replace=False
+            )
+            for node_id in picks:
+                jitter = float(rng.uniform(0, 0.2 * period))
+                duration = period - jitter - 1e-3 * period
+                start = onset + jitter
+                if start + duration > horizon:
+                    duration = max(horizon - start, 1e-3 * period)
+                self.degrade(
+                    start,
+                    int(node_id),
+                    factor=float(rng.uniform(low, high)),
+                    duration=duration,
+                    resources=resources,
+                )
+        return self
+
     def churn(
         self,
         *,

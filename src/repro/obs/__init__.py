@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.report import build_report
+from repro.obs.timeseries import Series, TimeseriesRecorder
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -43,7 +44,9 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "Series",
     "Span",
+    "TimeseriesRecorder",
     "Tracer",
     "build_report",
     "chrome_trace",

@@ -121,9 +121,43 @@ class Histogram:
         return self.quantile(0.5)
 
     @property
+    def p90(self) -> float:
+        """90th-percentile estimate."""
+        return self.quantile(0.9)
+
+    @property
     def p99(self) -> float:
         """99th-percentile estimate."""
         return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile estimate (the deep-tail SLO percentile)."""
+        return self.quantile(0.999)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram, in place.
+
+        Both histograms must share the same growth factor (their bucket
+        boundaries coincide, so bucket counts add exactly). Merging is
+        associative and commutative up to floating-point addition of the
+        totals, which makes cross-shard aggregation order-insensitive.
+        """
+        if other.growth != self.growth:
+            raise ReproError(
+                f"cannot merge histograms with different growth factors "
+                f"({self.growth} vs {other.growth})"
+            )
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self._zeros += other._zeros
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
 
 
 class _NullMetric:
@@ -137,7 +171,11 @@ class _NullMetric:
     total = 0.0
     mean = 0.0
     p50 = 0.0
+    p90 = 0.0
     p99 = 0.0
+    p999 = 0.0
+    min = 0.0
+    max = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -150,6 +188,9 @@ class _NullMetric:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def merge(self, other) -> None:
+        pass
 
 
 NULL_METRIC = _NullMetric()
@@ -222,7 +263,9 @@ class MetricsRegistry:
                     "count": metric.count,
                     "mean": metric.mean,
                     "p50": metric.p50,
+                    "p90": metric.p90,
                     "p99": metric.p99,
+                    "p999": metric.p999,
                     "min": metric.min if metric.count else 0.0,
                     "max": metric.max if metric.count else 0.0,
                 }

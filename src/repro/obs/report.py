@@ -150,7 +150,8 @@ def build_report(
                     rows.append(
                         [name, "histogram",
                          f"n={data['count']} mean={_fmt(data['mean'])} "
-                         f"p50={_fmt(data['p50'])} p99={_fmt(data['p99'])}"]
+                         f"p50={_fmt(data['p50'])} p99={_fmt(data['p99'])} "
+                         f"p999={_fmt(data['p999'])}"]
                     )
                 else:
                     rows.append([name, data["type"], _fmt(data["value"])])

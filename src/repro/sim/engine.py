@@ -9,6 +9,46 @@ from repro.obs.metrics import get_registry
 from repro.sim.events import Event, EventQueue
 
 
+class PeriodicHook:
+    """Handle for a repeating callback installed via :meth:`Simulator.every`.
+
+    The callback fires every ``interval`` seconds of virtual time until
+    :meth:`cancel` is called. Cancellation is immediate: the pending
+    event is marked dead in the queue and never dispatched.
+    """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_event", "_cancelled", "fires")
+
+    def __init__(self, sim: "Simulator", interval: float, callback) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._cancelled = False
+        self.fires = 0
+        self._event = sim.schedule(interval, self._fire)
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` ran."""
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:  # pragma: no cover - cancel kills the event
+            return
+        # Reschedule before running the callback so a callback that
+        # cancels the hook tears down the *next* occurrence too.
+        self._event = self._sim.schedule(self._interval, self._fire)
+        self.fires += 1
+        self._callback()
+
+    def cancel(self) -> None:
+        """Stop firing; the pending occurrence is dropped."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._event.cancel()
+
+
 class Simulator:
     """Virtual-time event loop.
 
@@ -49,6 +89,22 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         return self._queue.push(max(time, self._now), callback, *args)
+
+    def every(self, interval: float, callback: Callable[[], Any]) -> PeriodicHook:
+        """Install a repeating sampling hook on the clock.
+
+        ``callback()`` runs every ``interval`` seconds of virtual time,
+        starting one interval from now, until the returned handle's
+        :meth:`PeriodicHook.cancel` is called. Hooks are dispatched as
+        ordinary queue events (stable FIFO order at equal timestamps),
+        so a *read-only* callback — one that samples counters without
+        mutating simulation state — cannot perturb the behaviour of any
+        other scheduled work. This is the attachment point for the
+        observability layer's :class:`~repro.obs.timeseries.TimeseriesRecorder`.
+        """
+        if interval <= 0:
+            raise SimulationError(f"hook interval must be positive (got {interval})")
+        return PeriodicHook(self, interval, callback)
 
     def run(self, until: float | None = None) -> float:
         """Process events (optionally only up to time ``until``).

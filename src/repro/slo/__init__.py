@@ -1,0 +1,23 @@
+"""Declarative SLOs evaluated against virtual-time run telemetry.
+
+The second half of the second-generation observability layer: the
+:mod:`repro.obs.timeseries` recorder produces per-window series; this
+package asserts objectives over them — foreground P99 inflation
+ceilings, repair-completion deadlines, scrub detection-latency bounds,
+and the zero-integrity-loss invariant — and renders machine-readable
+verdicts with structured, virtually-timestamped breach records
+(consumed by ``exp17_chaos``'s ``BENCH_chaos.json`` and the CI gate).
+"""
+
+from repro.slo.evaluator import RunTelemetry, SLOEvaluator
+from repro.slo.spec import SLO_KINDS, SLOBreach, SLOReport, SLOSpec, SLOVerdict
+
+__all__ = [
+    "RunTelemetry",
+    "SLO_KINDS",
+    "SLOBreach",
+    "SLOEvaluator",
+    "SLOReport",
+    "SLOSpec",
+    "SLOVerdict",
+]

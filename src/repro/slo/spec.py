@@ -1,0 +1,148 @@
+"""Declarative service-level objectives and their breach records.
+
+An :class:`SLOSpec` states one objective a run must hold; the evaluator
+(:mod:`repro.slo.evaluator`) checks each spec against a finished run's
+telemetry and produces an :class:`SLOReport` of per-spec
+:class:`SLOVerdict`\\ s. Every violated window / event becomes a
+structured :class:`SLOBreach` carrying the *virtual* timestamp and the
+offending value, so a failed gate points at the exact moment the run
+went out of budget instead of a curve to eyeball.
+
+Spec kinds (``threshold`` semantics in brackets):
+
+* ``foreground_p99_inflation`` — per-window foreground P99 may not
+  exceed [threshold] × the run's calm-period baseline P99;
+* ``repair_deadline`` — the repair must complete within [threshold]
+  virtual seconds of its start;
+* ``detection_latency`` — every injected corruption must be detected
+  within [threshold] virtual seconds;
+* ``zero_loss`` — at most [threshold] (normally 0) integrity losses:
+  unrepairable chunks, checksum-failing chunks, unexplained detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: The closed set of objective kinds the evaluator understands.
+SLO_KINDS = (
+    "foreground_p99_inflation",
+    "repair_deadline",
+    "detection_latency",
+    "zero_loss",
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective: a kind and a threshold."""
+
+    name: str
+    kind: str
+    threshold: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ReproError(
+                f"unknown SLO kind {self.kind!r}; choose from {SLO_KINDS}"
+            )
+        if not self.name:
+            raise ReproError("SLO needs a non-empty name")
+        if self.threshold < 0:
+            raise ReproError(f"SLO {self.name!r} threshold cannot be negative")
+        if self.kind == "foreground_p99_inflation" and self.threshold < 1.0:
+            raise ReproError(
+                f"SLO {self.name!r}: an inflation ceiling below 1.0x would "
+                "fail even a perfectly calm run"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """One violation: what was observed, when (virtual time), and where."""
+
+    slo: str
+    time: float  #: virtual timestamp of the violation
+    observed: float
+    threshold: float
+    window: int | None = None  #: offending sampling-window index, if windowed
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        out = {
+            "slo": self.slo,
+            "time": self.time,
+            "observed": self.observed,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+        if self.window is not None:
+            out["window"] = self.window
+        return out
+
+
+@dataclass
+class SLOVerdict:
+    """One spec's outcome: pass/fail plus every breach found."""
+
+    spec: SLOSpec
+    passed: bool
+    observed: float  #: worst value seen (same units as the threshold)
+    breaches: list[SLOBreach] = field(default_factory=list)
+    note: str = ""  #: e.g. "no baseline: not evaluated"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "slo": self.spec.to_dict(),
+            "passed": self.passed,
+            "observed": self.observed,
+            "breaches": [b.to_dict() for b in self.breaches],
+            "note": self.note,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All verdicts for one run."""
+
+    verdicts: list[SLOVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every objective held."""
+        return all(v.passed for v in self.verdicts)
+
+    @property
+    def breaches(self) -> list[SLOBreach]:
+        """Every breach across all verdicts, in verdict order."""
+        return [b for v in self.verdicts for b in v.breaches]
+
+    def verdict(self, name: str) -> SLOVerdict:
+        """Look up one verdict by its spec name."""
+        for v in self.verdicts:
+            if v.spec.name == name:
+                return v
+        raise ReproError(
+            f"no verdict for SLO {name!r}; have {[v.spec.name for v in self.verdicts]}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the BENCH_chaos.json verdict block)."""
+        return {
+            "passed": self.passed,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }

@@ -230,3 +230,63 @@ class TestDeterministicInjection:
             return [i for i, t in enumerate(transfers) if t.failed]
 
         assert run(9) == run(9)
+
+
+class TestFluctuate:
+    def test_builds_only_degradations_inside_the_horizon(self):
+        tl = FaultTimeline(seed=5).fluctuate(
+            nodes=list(range(8)), horizon=20.0, period=5.0,
+            amplitude=(0.4, 0.8), fraction=0.5,
+        )
+        assert tl.events
+        for event in tl.events:
+            assert isinstance(event, BandwidthDegradation)
+            assert 0.0 <= event.at < 20.0
+            assert event.at + event.duration <= 20.0 + 1e-9
+            assert 0.4 <= event.factor <= 0.8
+
+    def test_wave_count_and_victims_per_wave(self):
+        tl = FaultTimeline(seed=5).fluctuate(
+            nodes=list(range(10)), horizon=20.0, period=5.0, fraction=0.4,
+        )
+        # 4 waves x round(0.4 * 10) victims.
+        assert len(tl.events) == 4 * 4
+
+    def test_same_seed_same_waves(self):
+        def build(seed):
+            return FaultTimeline(seed=seed).fluctuate(
+                nodes=list(range(6)), horizon=10.0, period=2.5,
+            ).sorted_events()
+
+        assert build(11) == build(11)
+        assert build(11) != build(12)
+
+    def test_validation(self):
+        tl = FaultTimeline()
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[1], horizon=0.0, period=1.0)
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[1], horizon=5.0, period=6.0)
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[], horizon=5.0, period=1.0)
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[1], horizon=5.0, period=1.0, amplitude=(0.0, 0.5))
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[1], horizon=5.0, period=1.0, amplitude=(0.9, 0.5))
+        with pytest.raises(SimulationError):
+            tl.fluctuate(nodes=[1], horizon=5.0, period=1.0, fraction=0.0)
+
+    def test_armed_waves_throttle_then_restore_capacity(self):
+        cluster, _, injector = make_env()
+        node = cluster.storage_nodes[3]
+        base = node.uplink.capacity
+        tl = FaultTimeline(seed=2).fluctuate(
+            nodes=[3], horizon=4.0, period=2.0, amplitude=(0.5, 0.5),
+            fraction=1.0,
+        )
+        tl.arm(cluster, injector)
+        first = tl.sorted_events()[0]
+        cluster.sim.run(until=first.at + 0.5 * first.duration)
+        assert node.uplink.capacity == pytest.approx(0.5 * base)
+        cluster.sim.run(until=10.0)
+        assert node.uplink.capacity == pytest.approx(base)

@@ -154,3 +154,131 @@ class TestNullRegistry:
             assert set_registry(None) is reg
         assert get_registry() is NULL_REGISTRY
         assert previous is NULL_REGISTRY
+
+
+class TestHistogramEdgeCases:
+    @pytest.mark.parametrize("growth", [1.01, 1.3, 2.0])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.999])
+    def test_error_bound_holds_for_any_growth(self, growth, q):
+        rng = random.Random(13)
+        h = Histogram("h", growth=growth)
+        samples = [rng.lognormvariate(0.0, 1.5) for _ in range(3000)]
+        for v in samples:
+            h.observe(v)
+        exact = exact_quantile(samples, q)
+        bound = math.sqrt(growth)
+        assert exact / bound <= h.quantile(q) <= exact * bound
+
+    def test_all_zero_stream(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.observe(0.0)
+        assert h.count == 100
+        assert h.mean == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+        for q in (0.0, 0.5, 0.999, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_negative_stream_treated_as_zeros_with_exact_extremes(self):
+        h = Histogram("h")
+        for v in (-3.0, -1.0, -2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == -3.0 and h.max == -1.0
+        # Non-positive samples share the zero bucket; quantiles report
+        # the exact tracked minimum rather than a fabricated midpoint.
+        assert h.quantile(0.5) == -3.0
+        assert h.total == -6.0
+
+    def test_mixed_negative_and_positive(self):
+        h = Histogram("h")
+        for v in (-1.0, 0.0, 4.0, 8.0):
+            h.observe(v)
+        assert h.quantile(0.25) == -1.0  # the non-positive mass
+        assert h.quantile(1.0) == pytest.approx(8.0, rel=math.sqrt(h.growth) - 1)
+
+    @pytest.mark.parametrize("qs", [(0.1, 0.5), (0.5, 0.9), (0.9, 0.999)])
+    def test_quantile_monotonicity(self, qs):
+        rng = random.Random(29)
+        h = Histogram("h")
+        for _ in range(2000):
+            h.observe(rng.expovariate(0.2))
+        q1, q2 = qs
+        assert h.quantile(q1) <= h.quantile(q2)
+
+    def test_p90_p999_properties(self):
+        h = Histogram("h")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.p90 == pytest.approx(900.0, rel=math.sqrt(h.growth) - 1 + 0.01)
+        assert h.p999 == pytest.approx(999.0, rel=math.sqrt(h.growth) - 1 + 0.01)
+        assert h.p50 <= h.p90 <= h.p999
+
+
+class TestHistogramMerge:
+    def _fill(self, values, growth=1.05):
+        h = Histogram("h", growth=growth)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_merge_equals_observing_the_union(self):
+        rng = random.Random(41)
+        a_vals = [rng.expovariate(1.0) for _ in range(500)]
+        b_vals = [0.0, -2.0] + [rng.lognormvariate(0, 1) for _ in range(500)]
+        a, b = self._fill(a_vals), self._fill(b_vals)
+        union = self._fill(a_vals + b_vals)
+        a.merge(b)
+        assert a.count == union.count
+        assert a.total == pytest.approx(union.total)
+        assert a.min == union.min and a.max == union.max
+        assert a._buckets == union._buckets
+        assert a._zeros == union._zeros
+        for q in (0.5, 0.9, 0.99):
+            assert a.quantile(q) == union.quantile(q)
+
+    def test_merge_is_associative(self):
+        rng = random.Random(43)
+        chunks = [[rng.expovariate(0.5) for _ in range(200)] for _ in range(3)]
+        left = self._fill(chunks[0])
+        left.merge(self._fill(chunks[1]))
+        left.merge(self._fill(chunks[2]))
+        mid = self._fill(chunks[1])
+        mid.merge(self._fill(chunks[2]))
+        right = self._fill(chunks[0])
+        right.merge(mid)
+        assert left._buckets == right._buckets
+        assert left.count == right.count
+        assert left.total == pytest.approx(right.total)
+        assert left.min == right.min and left.max == right.max
+
+    def test_merge_empty_is_identity(self):
+        a = self._fill([1.0, 2.0])
+        before = (a.count, a.total, a.min, a.max, dict(a._buckets))
+        a.merge(Histogram("empty"))
+        assert (a.count, a.total, a.min, a.max, dict(a._buckets)) == before
+        empty = Histogram("e")
+        empty.merge(self._fill([5.0]))
+        assert empty.count == 1 and empty.min == 5.0
+
+    def test_merge_rejects_growth_mismatch(self):
+        a = Histogram("a", growth=1.05)
+        b = Histogram("b", growth=1.1)
+        with pytest.raises(ReproError, match="growth"):
+            a.merge(b)
+
+    def test_snapshot_reports_deep_tail_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = reg.snapshot()["h"]
+        assert {"p50", "p90", "p99", "p999"} <= set(snap)
+        assert snap["p90"] <= snap["p99"] <= snap["p999"]
+
+    def test_null_metric_has_merge_and_extremes(self):
+        NULL_METRIC.merge(Histogram("h"))
+        assert NULL_METRIC.min == 0.0
+        assert NULL_METRIC.max == 0.0
+        assert NULL_METRIC.p90 == 0.0
+        assert NULL_METRIC.p999 == 0.0

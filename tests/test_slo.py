@@ -1,0 +1,231 @@
+"""Declarative SLO specs and the telemetry evaluator (repro.slo)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.integrity.ledger import IntegrityLedger
+from repro.obs.timeseries import TimeseriesRecorder
+from repro.sim.engine import Simulator
+from repro.slo import RunTelemetry, SLOEvaluator, SLOSpec
+from repro.slo.spec import SLOBreach, SLOReport, SLOVerdict
+
+
+def spec(kind, threshold, name="s"):
+    return SLOSpec(name, kind, threshold)
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown SLO kind"):
+            SLOSpec("s", "made-up", 1.0)
+
+    def test_empty_name(self):
+        with pytest.raises(ReproError, match="non-empty name"):
+            SLOSpec("", "zero_loss", 0.0)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ReproError, match="cannot be negative"):
+            SLOSpec("s", "repair_deadline", -1.0)
+
+    def test_inflation_ceiling_below_one(self):
+        with pytest.raises(ReproError, match="below 1.0x"):
+            SLOSpec("s", "foreground_p99_inflation", 0.5)
+
+    def test_duplicate_names_rejected(self):
+        specs = [spec("zero_loss", 0.0), spec("repair_deadline", 1.0)]
+        with pytest.raises(ReproError, match="duplicate"):
+            SLOEvaluator(specs)
+
+    def test_to_dict_round_trips_fields(self):
+        s = SLOSpec("fg", "foreground_p99_inflation", 3.0, "ceiling")
+        assert s.to_dict() == {
+            "name": "fg", "kind": "foreground_p99_inflation",
+            "threshold": 3.0, "description": "ceiling",
+        }
+
+
+def _recorder_with_p99(times, p99s, counts=None):
+    """A recorder holding a synthetic lat.foreground.p99 series."""
+    recorder = TimeseriesRecorder(Simulator(), window=1.0)
+    for t, v in zip(times, p99s):
+        recorder._series("lat.foreground.p99").append(t, v)
+    for t, c in zip(times, counts if counts is not None else [1] * len(times)):
+        recorder._series("lat.foreground.count").append(t, c)
+    return recorder
+
+
+class TestForegroundInflation:
+    def test_vacuous_without_timeseries(self):
+        verdict = SLOEvaluator([spec("foreground_p99_inflation", 2.0)]).evaluate(
+            RunTelemetry(end_time=10.0)
+        ).verdicts[0]
+        assert verdict.passed and "no timeseries" in verdict.note
+
+    def test_vacuous_without_baseline(self):
+        ts = _recorder_with_p99([1.0], [0.5])
+        verdict = SLOEvaluator([spec("foreground_p99_inflation", 2.0)]).evaluate(
+            RunTelemetry(end_time=10.0, timeseries=ts, baseline_p99=0.0)
+        ).verdicts[0]
+        assert verdict.passed and "no baseline" in verdict.note
+
+    def test_breach_carries_window_and_virtual_time(self):
+        ts = _recorder_with_p99([1.0, 2.0, 3.0], [0.1, 0.5, 0.1])
+        report = SLOEvaluator([spec("foreground_p99_inflation", 3.0)]).evaluate(
+            RunTelemetry(end_time=3.0, timeseries=ts, baseline_p99=0.1)
+        )
+        verdict = report.verdicts[0]
+        assert not verdict.passed
+        assert verdict.observed == pytest.approx(5.0)
+        (breach,) = verdict.breaches
+        assert breach.time == 2.0
+        assert breach.window == 1
+        assert breach.observed == pytest.approx(5.0)
+
+    def test_empty_windows_carry_no_evidence(self):
+        # The inflated window saw zero completed requests: skipped.
+        ts = _recorder_with_p99([1.0, 2.0], [0.1, 9.9], counts=[5, 0])
+        report = SLOEvaluator([spec("foreground_p99_inflation", 2.0)]).evaluate(
+            RunTelemetry(end_time=2.0, timeseries=ts, baseline_p99=0.1)
+        )
+        assert report.passed
+
+    def test_within_ceiling_passes(self):
+        ts = _recorder_with_p99([1.0, 2.0], [0.15, 0.2])
+        report = SLOEvaluator([spec("foreground_p99_inflation", 2.5)]).evaluate(
+            RunTelemetry(end_time=2.0, timeseries=ts, baseline_p99=0.1)
+        )
+        assert report.passed
+        assert report.verdicts[0].observed == pytest.approx(2.0)
+
+
+class TestRepairDeadline:
+    def test_vacuous_without_repair(self):
+        verdict = SLOEvaluator([spec("repair_deadline", 5.0)]).evaluate(
+            RunTelemetry(end_time=10.0)
+        ).verdicts[0]
+        assert verdict.passed and "no repair" in verdict.note
+
+    def test_on_time_passes(self):
+        verdict = SLOEvaluator([spec("repair_deadline", 5.0)]).evaluate(
+            RunTelemetry(end_time=10.0, repair_started_at=1.0,
+                         repair_finished_at=4.0)
+        ).verdicts[0]
+        assert verdict.passed and verdict.observed == pytest.approx(3.0)
+
+    def test_late_breaches_at_finish_time(self):
+        verdict = SLOEvaluator([spec("repair_deadline", 2.0)]).evaluate(
+            RunTelemetry(end_time=10.0, repair_started_at=1.0,
+                         repair_finished_at=8.0)
+        ).verdicts[0]
+        assert not verdict.passed
+        (breach,) = verdict.breaches
+        assert breach.time == 8.0 and breach.observed == pytest.approx(7.0)
+
+    def test_unfinished_breaches_at_end_of_run(self):
+        verdict = SLOEvaluator([spec("repair_deadline", 100.0)]).evaluate(
+            RunTelemetry(end_time=10.0, repair_started_at=1.0)
+        ).verdicts[0]
+        assert not verdict.passed
+        (breach,) = verdict.breaches
+        assert breach.time == 10.0
+        assert "never completed" in breach.detail
+
+
+class TestDetectionLatency:
+    def _ledger(self):
+        sim = Simulator()
+        return sim, IntegrityLedger(sim)
+
+    def test_vacuous_without_ledger(self):
+        verdict = SLOEvaluator([spec("detection_latency", 1.0)]).evaluate(
+            RunTelemetry(end_time=10.0)
+        ).verdicts[0]
+        assert verdict.passed and "no ledger" in verdict.note
+
+    def test_fast_detection_passes(self):
+        sim, ledger = self._ledger()
+        ledger.record_injection("c1", "corruption")
+        sim.run(until=2.0)
+        ledger.record_detection("c1", "scrub")
+        verdict = SLOEvaluator([spec("detection_latency", 5.0)]).evaluate(
+            RunTelemetry(end_time=10.0, ledger=ledger)
+        ).verdicts[0]
+        assert verdict.passed and verdict.observed == pytest.approx(2.0)
+
+    def test_slow_detection_breaches_at_detect_time(self):
+        sim, ledger = self._ledger()
+        ledger.record_injection("c1", "corruption")
+        sim.run(until=7.0)
+        ledger.record_detection("c1", "scrub")
+        verdict = SLOEvaluator([spec("detection_latency", 5.0)]).evaluate(
+            RunTelemetry(end_time=10.0, ledger=ledger)
+        ).verdicts[0]
+        assert not verdict.passed
+        (breach,) = verdict.breaches
+        assert breach.time == 7.0 and breach.observed == pytest.approx(7.0)
+
+    def test_undetected_breaches_regardless_of_threshold(self):
+        _, ledger = self._ledger()
+        ledger.record_injection("c1", "sector_error")
+        verdict = SLOEvaluator([spec("detection_latency", 1e9)]).evaluate(
+            RunTelemetry(end_time=10.0, ledger=ledger)
+        ).verdicts[0]
+        assert not verdict.passed
+        (breach,) = verdict.breaches
+        assert breach.time == 10.0 and "never detected" in breach.detail
+
+
+class TestZeroLoss:
+    def test_clean_run_passes(self):
+        verdict = SLOEvaluator([spec("zero_loss", 0.0)]).evaluate(
+            RunTelemetry(end_time=10.0)
+        ).verdicts[0]
+        assert verdict.passed
+
+    def test_losses_sum_across_sources(self):
+        ledger = IntegrityLedger(Simulator())
+        ledger.record_detection("ghost", "scrub")  # unexplained
+        verdict = SLOEvaluator([spec("zero_loss", 0.0)]).evaluate(
+            RunTelemetry(end_time=10.0, chunks_lost=1, unverified_chunks=2,
+                         ledger=ledger)
+        ).verdicts[0]
+        assert not verdict.passed
+        (breach,) = verdict.breaches
+        assert breach.observed == 4.0
+        assert "lost=1" in breach.detail
+
+    def test_threshold_is_a_budget(self):
+        verdict = SLOEvaluator([spec("zero_loss", 2.0)]).evaluate(
+            RunTelemetry(end_time=10.0, chunks_lost=2)
+        ).verdicts[0]
+        assert verdict.passed
+
+
+class TestReport:
+    def _report(self):
+        return SLOReport(verdicts=[
+            SLOVerdict(spec("zero_loss", 0.0, name="a"), True, 0.0),
+            SLOVerdict(spec("repair_deadline", 1.0, name="b"), False, 2.0,
+                       [SLOBreach("b", 5.0, 2.0, 1.0)]),
+        ])
+
+    def test_passed_and_breaches_aggregate(self):
+        report = self._report()
+        assert not report.passed
+        assert len(report.breaches) == 1
+
+    def test_verdict_lookup(self):
+        report = self._report()
+        assert report.verdict("a").passed
+        with pytest.raises(ReproError, match="no verdict"):
+            report.verdict("zzz")
+
+    def test_to_dict_shape(self):
+        data = self._report().to_dict()
+        assert data["passed"] is False
+        assert [v["slo"]["name"] for v in data["verdicts"]] == ["a", "b"]
+        breach = data["verdicts"][1]["breaches"][0]
+        assert breach == {
+            "slo": "b", "time": 5.0, "observed": 2.0,
+            "threshold": 1.0, "detail": "",
+        }
