@@ -1,0 +1,40 @@
+"""Exp#18: adaptive admission control — closed loop beats open loop."""
+
+import json
+
+from conftest import emit
+
+from repro.experiments.exp18_adaptive import (
+    HEADERS,
+    rows,
+    run_exp18,
+    verdict_payload,
+    write_bench,
+)
+
+
+def test_exp18_adaptive(benchmark, bench_scale, tmp_path):
+    results = benchmark.pedantic(
+        run_exp18, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(benchmark, "Exp#18: adaptive admission control (off vs on)",
+         HEADERS, rows(results))
+    payload = verdict_payload(results, scale=bench_scale, seed=0)
+    # The acceptance criterion: strictly fewer P99 breach windows with
+    # the controller on, without blowing the repair deadline.
+    assert payload["improved"], payload["p99_breach_windows"]
+    assert payload["repair_deadline_met"]
+    assert payload["passed"]
+    for trace, run in results.items():
+        # Per-trace, closing the loop never makes interference worse.
+        assert run.on_breach_windows <= run.off_breach_windows, trace
+        assert run.on_deadline_met, trace
+        # The controller actually acted somewhere in the chaos.
+        assert run.on.admission and not run.off.admission, trace
+    assert any(r.on.controller_backoffs > 0 for r in results.values())
+    # Same-seed reruns serialise byte-identically (virtual time only).
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    write_bench(results, str(path_a), scale=bench_scale, seed=0)
+    write_bench(results, str(path_b), scale=bench_scale, seed=0)
+    assert path_a.read_bytes() == path_b.read_bytes()
+    assert json.loads(path_a.read_text())["experiment"] == "exp18_adaptive"

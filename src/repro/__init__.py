@@ -54,6 +54,7 @@ from repro.codes import (
     RepairEquation,
     make_code,
 )
+from repro.control import AdmissionController, AIMDPolicy
 from repro.core import ChameleonRepair, ChameleonRepairIO
 from repro.errors import (
     CodingError,
@@ -142,6 +143,8 @@ __all__ = [
     "GB",
     "KB",
     "MB",
+    "AdmissionController",
+    "AIMDPolicy",
     "BandwidthDegradation",
     "BandwidthMonitor",
     "ButterflyCode",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from repro.cluster.datastore import ChunkStore, drop_node_chunks, encode_and_load
 from repro.cluster.node import mbs
+from repro.control import AdmissionController, AIMDPolicy
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import MAX_SIM_TIME, run_sim_until
@@ -95,6 +96,7 @@ class Testbed(Scenario):
         self.scrubber: Scrubber | None = None
         self.journal: Journal | None = None
         self.timeseries: TimeseriesRecorder | None = None
+        self.controller: AdmissionController | None = None
         self.slos: list[SLOSpec] = []
         #: ``id(repairer) -> (algorithm name, user overrides)`` so a
         #: crashed coordinator can be rebuilt identically on recovery.
@@ -133,6 +135,8 @@ class Testbed(Scenario):
             self.dataplane.attach(repairer)
         if self.scrubber is not None:
             self.scrubber.attach(repairer)
+        if self.controller is not None:
+            self.controller.attach_repairer(repairer)
         return repairer
 
     def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
@@ -230,6 +234,51 @@ class Testbed(Scenario):
             ledger=self.ledger,
         )
         return SLOEvaluator(chosen).evaluate(telemetry)
+
+    # -- adaptive admission control --------------------------------------------
+
+    def enable_admission_control(
+        self,
+        *,
+        policy: AIMDPolicy | None = None,
+        baseline_p99: float | None = None,
+        calibration_windows: int = 3,
+        window: float = 5.0,
+    ) -> AdmissionController:
+        """Close the telemetry loop: AIMD-throttle scrub/repair intensity.
+
+        Enables the timeseries recorder if needed (``window`` only
+        applies then — an existing recorder keeps its cadence) and
+        installs an :class:`~repro.control.AdmissionController` that
+        backs off the scrubber's rate and every repairer's parallelism
+        when the per-window foreground P99 inflates past
+        ``policy.high_water`` × the baseline, recovering additively when
+        headroom returns. The scrubber and all repairers — existing and
+        future, including post-crash replacements from
+        :meth:`recover_repairer` — are attached automatically.
+
+        With ``baseline_p99=None`` the controller calibrates itself over
+        the first ``calibration_windows`` non-empty windows. Idempotent;
+        returns the controller. Stop it
+        (``testbed.controller.stop()``) alongside the recorder before
+        driving the simulator with an unbounded ``run()``.
+        """
+        if self.controller is not None:
+            return self.controller
+        recorder = self.enable_timeseries(window=window)
+        controller = AdmissionController(
+            recorder,
+            policy=policy,
+            baseline_p99=baseline_p99,
+            calibration_windows=calibration_windows,
+        )
+        if self.scrubber is not None:
+            controller.attach_scrubber(self.scrubber)
+        for repairer in self.repairers:
+            controller.attach_repairer(repairer)
+        controller.start()
+        self.controller = controller
+        return controller
 
     # -- durability & failover -------------------------------------------------
 
@@ -431,6 +480,8 @@ class Testbed(Scenario):
         for repairer in self.repairers:
             self.scrubber.attach(repairer)
         self.scrubber.start()
+        if self.controller is not None:
+            self.controller.attach_scrubber(self.scrubber)
         return self.scrubber
 
     def inject_bitrot(
@@ -524,6 +575,7 @@ class TestbedBuilder:
         self._bitrot: dict | None = None
         self._journal: dict | None = None
         self._timeseries: dict | None = None
+        self._admission: dict | None = None
         self._slos: list[SLOSpec] = []
 
     # -- knobs ----------------------------------------------------------------
@@ -641,6 +693,26 @@ class TestbedBuilder:
         self._timeseries = {"window": window}
         return self
 
+    def with_admission_control(
+        self,
+        *,
+        policy: AIMDPolicy | None = None,
+        baseline_p99: float | None = None,
+        calibration_windows: int = 3,
+        window: float = 5.0,
+    ) -> "TestbedBuilder":
+        """Install the AIMD admission controller on build (see
+        :meth:`Testbed.enable_admission_control`). Without an explicit
+        ``baseline_p99`` the controller self-calibrates over the first
+        ``calibration_windows`` non-empty foreground windows."""
+        self._admission = {
+            "policy": policy,
+            "baseline_p99": baseline_p99,
+            "calibration_windows": calibration_windows,
+            "window": window,
+        }
+        return self
+
     def with_slos(self, *specs: SLOSpec) -> "TestbedBuilder":
         """Declare SLOs for :meth:`Testbed.evaluate_slos` (cumulative)."""
         self._slos.extend(specs)
@@ -669,6 +741,8 @@ class TestbedBuilder:
             testbed.inject_bitrot(**self._bitrot)
         if self._scrubber is not None:
             testbed.start_scrubber(**self._scrubber)
+        if self._admission is not None:
+            testbed.enable_admission_control(**self._admission)
         return testbed
 
 

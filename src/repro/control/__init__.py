@@ -1,0 +1,19 @@
+"""Closed-loop admission control over the virtual-time telemetry.
+
+The inverse of the paper's idle-bandwidth dispatch: instead of pushing
+repair traffic *into* measured headroom, :class:`AdmissionController`
+pulls background intensity *back* when the foreground latency series
+shows the headroom is gone. It rides the same
+:meth:`~repro.sim.engine.Simulator.every` clock hook as the
+:class:`~repro.obs.timeseries.TimeseriesRecorder` it reads, acts only
+at window boundaries on already-closed windows, and turns two
+actuators: the scrubber's scan rate and each repairer's parallelism
+cap. See :mod:`repro.control.admission` for the AIMD mechanics.
+"""
+
+from repro.control.admission import AdmissionController, AIMDPolicy
+
+__all__ = [
+    "AIMDPolicy",
+    "AdmissionController",
+]

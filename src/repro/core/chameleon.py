@@ -79,6 +79,7 @@ class ChameleonRepair(HookEmitter):
         max_inflight: int = 8,
         max_retries: int = 3,
         retry_backoff: float = 0.5,
+        max_backoff: float | None = None,
         chunk_timeout: float | None = None,
         journal=None,
         on_all_done: Callable[["ChameleonRepair"], None] | None = None,
@@ -109,10 +110,14 @@ class ChameleonRepair(HookEmitter):
             raise SchedulingError("max_retries cannot be negative")
         if retry_backoff <= 0:
             raise SchedulingError("retry_backoff must be positive")
+        if max_backoff is not None and max_backoff <= 0:
+            raise SchedulingError("max_backoff must be positive (or None)")
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise SchedulingError("chunk_timeout must be positive")
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: Ceiling on the exponential retry delay (None = uncapped).
+        self.max_backoff = max_backoff
         self.chunk_timeout = chunk_timeout
         #: Optional :class:`repro.journal.Journal` written through at
         #: every state transition (None = durability off).
@@ -216,6 +221,22 @@ class ChameleonRepair(HookEmitter):
         else:
             self._admit_chunks()
         return adopted
+
+    def set_concurrency(self, concurrency: int) -> None:
+        """Retarget ``max_inflight`` mid-run (the controller's knob).
+
+        ChameleonEC's phase machinery already admits chunks against the
+        idle-bandwidth budget; this cap bounds concurrent reconstruction
+        streams on top of it. Lowering never cancels in-flight repairs;
+        raising re-runs admission so freed slots fill from the queue.
+        """
+        if concurrency < 1:
+            raise SchedulingError("max_inflight must be at least 1")
+        raised = concurrency > self.max_inflight
+        self.max_inflight = concurrency
+        if raised and self._started and not self._crashed and not self._finished \
+                and self.pending:
+            self._admit_chunks()
 
     def crash(self) -> None:
         """Tear the coordinator down mid-run (control-plane crash).
@@ -430,6 +451,8 @@ class ChameleonRepair(HookEmitter):
             self._mark_lost(chunk)
         else:
             delay = self.retry_backoff * 2 ** (self._attempts.get(chunk, 1) - 1)
+            if self.max_backoff is not None:
+                delay = min(delay, self.max_backoff)
             self._retry_wait.add(chunk)
             tracer = get_tracer()
             if tracer.enabled:

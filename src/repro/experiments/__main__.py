@@ -177,6 +177,26 @@ def _exp17(scale, seed, out="BENCH_chaos.json"):
     )]
 
 
+def _exp18(scale, seed, out="BENCH_adaptive.json"):
+    from repro.experiments.exp18_adaptive import (
+        HEADERS,
+        rows,
+        run_exp18,
+        write_bench,
+    )
+
+    results = run_exp18(scale=scale, seed=seed)
+    payload = write_bench(results, out, scale=scale, seed=seed)
+    gate = "PASS" if payload["passed"] else "FAIL"
+    breaches = payload["p99_breach_windows"]
+    return [(
+        f"Exp#18: adaptive admission control — {gate} "
+        f"(breach windows {breaches['controller_off']} off vs "
+        f"{breaches['controller_on']} on, verdicts in {out})",
+        HEADERS, rows(results),
+    )]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -216,7 +236,13 @@ EXPERIMENTS = {
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
     "exp13": _exp13, "exp14": _exp14, "exp15": _exp15, "exp16": _exp16,
-    "exp17": _exp17,
+    "exp17": _exp17, "exp18": _exp18,
+}
+
+#: Experiments that write a machine-readable verdict document (--out).
+BENCH_EXPERIMENTS = {
+    "exp17": "BENCH_chaos.json",
+    "exp18": "BENCH_adaptive.json",
 }
 
 
@@ -236,9 +262,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="print a run report (per-phase breakdown, slowest "
                              "tasks, scheduler decision log)")
-    parser.add_argument("--out", metavar="PATH", default="BENCH_chaos.json",
-                        help="exp17 only: where to write the machine-readable "
-                             "SLO verdict document")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="exp17/exp18 only: where to write the "
+                             "machine-readable SLO verdict document")
     args = parser.parse_args(argv)
 
     if args.trace is not None:
@@ -267,8 +293,9 @@ def main(argv: list[str] | None = None) -> int:
         prev_registry = set_registry(registry)
     try:
         handler = EXPERIMENTS[args.experiment]
-        if args.experiment == "exp17":
-            tables = handler(args.scale, args.seed, out=args.out)
+        if args.experiment in BENCH_EXPERIMENTS:
+            out = args.out or BENCH_EXPERIMENTS[args.experiment]
+            tables = handler(args.scale, args.seed, out=out)
         else:
             tables = handler(args.scale, args.seed)
         for title, headers, rows in tables:

@@ -79,13 +79,18 @@ DEGRADATIONS = 2
 INTERRUPTIONS = 1
 
 
-def gate_specs(config: ExperimentConfig, *, detect_bound: float) -> list[SLOSpec]:
+def gate_specs(
+    config: ExperimentConfig,
+    *,
+    detect_bound: float,
+    p99_ceiling: float = P99_CEILING,
+) -> list[SLOSpec]:
     """The pass/fail objectives CI asserts (sized from the config)."""
     return [
         SLOSpec(
             "chaos.p99",
             "foreground_p99_inflation",
-            P99_CEILING,
+            p99_ceiling,
             "no window's foreground P99 above the ceiling x calm baseline",
         ),
         SLOSpec(
@@ -152,6 +157,11 @@ class ChaosRun:
     repair_bw_peak_mbs: float
     scrub_bw_peak_mbs: float
     foreground_bw_mean_mbs: float
+    #: Admission-controller stats (exp18); defaults = controller off.
+    admission: bool = False
+    controller_backoffs: int = 0
+    controller_recoveries: int = 0
+    controller_min_level: float = 1.0
 
     def summary(self) -> dict:
         """The JSON ``summary`` block (everything but the verdicts)."""
@@ -171,8 +181,21 @@ class ChaosRun:
         }
 
 
-def run_one(config: ExperimentConfig) -> ChaosRun:
-    """One full chaos run for ``config.trace``; see the module docstring."""
+def run_one(
+    config: ExperimentConfig,
+    *,
+    p99_ceiling: float = P99_CEILING,
+    admission: dict | None = None,
+) -> ChaosRun:
+    """One full chaos run for ``config.trace``; see the module docstring.
+
+    ``admission`` (exp18): kwargs for
+    :meth:`~repro.api.Testbed.enable_admission_control`, installed right
+    after the calm warm-up with the measured ``baseline_p99`` — the same
+    anchor the SLO gate multiplies, so the controller's high-water mark
+    and the gate's ceiling speak the same inflation units. ``None``
+    keeps the controller off (exp17's open-loop behaviour).
+    """
     window = config.t_phase / WINDOWS_PER_PHASE
     chaos_horizon = 2.0 * config.t_phase
     rot_horizon = 0.5 * config.t_phase
@@ -187,6 +210,12 @@ def run_one(config: ExperimentConfig) -> ChaosRun:
     sim = testbed.cluster.sim
     sim.run(until=sim.now + WARMUP_WINDOWS * window)
     baseline_p99 = testbed.latency.p99 if testbed.latency else 0.0
+
+    if admission is not None:
+        testbed.enable_admission_control(
+            baseline_p99=baseline_p99 if baseline_p99 > 0 else None,
+            **admission,
+        )
 
     # The headline failure plus the chaos schedule. Both node-killing
     # events are known up front (the churn timeline is seeded), so rot
@@ -254,11 +283,15 @@ def run_one(config: ExperimentConfig) -> ChaosRun:
 
     testbed.run_until(settled, step=window)
     testbed.scrubber.stop()
+    if testbed.controller is not None:
+        testbed.controller.stop()
     testbed.stop_foreground()
     testbed.run_until(testbed.foreground_done, step=window)
     testbed.timeseries.stop()
 
-    testbed.set_slos(*gate_specs(config, detect_bound=detect_bound))
+    testbed.set_slos(*gate_specs(
+        config, detect_bound=detect_bound, p99_ceiling=p99_ceiling
+    ))
     gate = testbed.evaluate_slos(baseline_p99=baseline_p99)
     probe = testbed.evaluate_slos(
         specs=probe_specs(), baseline_p99=baseline_p99
@@ -273,6 +306,7 @@ def run_one(config: ExperimentConfig) -> ChaosRun:
     )
     ledger_summary = testbed.ledger.summary()
     ts = testbed.timeseries
+    controller = testbed.controller
     return ChaosRun(
         trace=config.trace,
         gate=gate,
@@ -289,6 +323,10 @@ def run_one(config: ExperimentConfig) -> ChaosRun:
         repair_bw_peak_mbs=ts.get("bw.total.repair").max() / 1e6,
         scrub_bw_peak_mbs=ts.get("bw.total.scrub").max() / 1e6,
         foreground_bw_mean_mbs=ts.get("bw.total.foreground").mean() / 1e6,
+        admission=controller is not None,
+        controller_backoffs=controller.backoffs if controller else 0,
+        controller_recoveries=controller.recoveries if controller else 0,
+        controller_min_level=controller.min_level if controller else 1.0,
     )
 
 

@@ -89,6 +89,21 @@ class Scrubber(HookEmitter):
         """Detected corruptions are enqueued to this repair driver."""
         self.repairers.append(repairer)
 
+    def set_rate(self, rate: float) -> None:
+        """Retarget the scan throughput (bytes of chunk data per second).
+
+        Recomputes the pacing interval, so the *next* scan — including
+        the one queued behind the current in-flight transfer — is paced
+        at the new rate. The in-flight transfer itself is untouched.
+        This is the actuator the admission controller turns; it is also
+        the correctness fix for anyone mutating ``rate`` directly, which
+        previously left the interval frozen at its construction value.
+        """
+        if rate <= 0:
+            raise SimulationError("scrub rate must be positive")
+        self.rate = float(rate)
+        self._interval = self.stripe_store.chunk_size / self.rate
+
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> None:

@@ -152,6 +152,8 @@ class TimeseriesRecorder:
         self._lat_cursor: dict[str, int] = {}
         self._hook: PeriodicHook | None = None
         self.windows_closed = 0
+        self._window_opened = sim.now
+        self._last_close: float | None = None
 
     # -- source registration ---------------------------------------------------
 
@@ -191,13 +193,21 @@ class TimeseriesRecorder:
         """Install the periodic sampling hook on the simulator clock."""
         if self.started:
             raise ReproError("timeseries recorder already started")
+        self._window_opened = self.sim.now
         self._hook = self.sim.every(self.window, self.sample)
 
     def stop(self) -> None:
-        """Cancel the hook; close one final partial window if non-empty."""
+        """Cancel the hook; close one final partial window if non-empty.
+
+        The final window spans only ``now - last close``, so its rates
+        are scaled by the actual elapsed span (see :meth:`sample`), not
+        diluted over a full ``window``.
+        """
         if self._hook is not None:
             self._hook.cancel()
             self._hook = None
+            if self.sim.now > self._window_opened:
+                self.sample()
 
     # -- sampling --------------------------------------------------------------
 
@@ -208,21 +218,34 @@ class TimeseriesRecorder:
         return series
 
     def sample(self) -> None:
-        """Close the current window (normally driven by the clock hook)."""
+        """Close the current window (normally driven by the clock hook).
+
+        Rates (counter deltas, bandwidth shares) are divided by the
+        window's *actual* span — the virtual time since the previous
+        close — so a partial final window (or a manual mid-window
+        ``sample()``) reports true rates instead of deltas diluted over
+        the full configured ``window``. A zero-span call is a no-op:
+        there is no window to close.
+        """
         now = self.sim.now
+        span = now - self._window_opened
+        if span <= 0:
+            return
+        self._window_opened = now
+        self._last_close = now
         self.windows_closed += 1
         if self._registry is not None:
-            self._sample_registry(now)
-        self._sample_resources(now)
+            self._sample_registry(now, span)
+        self._sample_resources(now, span)
         self._sample_latencies(now)
 
-    def _sample_registry(self, now: float) -> None:
+    def _sample_registry(self, now: float, span: float) -> None:
         for metric in self._registry:
             if isinstance(metric, Counter):
                 last = self._counter_last.get(metric.name, 0.0)
                 self._counter_last[metric.name] = metric.value
                 self._series(f"rate.{metric.name}").append(
-                    now, (metric.value - last) / self.window
+                    now, (metric.value - last) / span
                 )
             elif isinstance(metric, Gauge):
                 self._series(f"gauge.{metric.name}").append(now, metric.value)
@@ -242,7 +265,7 @@ class TimeseriesRecorder:
                 self._series(f"{base}.p90").append(now, delta.p90)
                 self._series(f"{base}.p99").append(now, delta.p99)
 
-    def _sample_resources(self, now: float) -> None:
+    def _sample_resources(self, now: float, span: float) -> None:
         totals = {tag: 0.0 for tag in (*ATTRIBUTED_TAGS, FOREGROUND_SHARE)}
         for res in self._resources:
             last = self._resource_last[res.name]
@@ -253,7 +276,7 @@ class TimeseriesRecorder:
                 shares[bucket] += delta
             self._resource_last[res.name] = dict(res.bytes_by_tag)
             for bucket, nbytes in shares.items():
-                bw = nbytes / self.window
+                bw = nbytes / span
                 totals[bucket] += bw
                 self._series(f"bw.{res.name}.{bucket}").append(now, bw)
         if self._resources:
@@ -272,6 +295,27 @@ class TimeseriesRecorder:
                 self._series(f"lat.{key}.{label}").append(now, value)
 
     # -- views -----------------------------------------------------------------
+
+    @property
+    def last_close(self) -> float | None:
+        """Virtual timestamp of the most recently closed window (None
+        before any window has closed). Live-readable mid-run: a
+        runtime consumer (the admission controller) compares this
+        against its own bookkeeping to act exactly once per window."""
+        return self._last_close
+
+    def latest(self, name: str, default: float = 0.0) -> float:
+        """Last closed-window value of ``name`` (``default`` when the
+        series was never recorded or is still empty).
+
+        The live-read API: unlike :meth:`get`, a missing series is not
+        an error — mid-run consumers ask about windows that may simply
+        not have produced that series yet.
+        """
+        series = self.series.get(name)
+        if series is None or not series.values:
+            return default
+        return series.values[-1]
 
     def get(self, name: str) -> Series:
         """The named series (raises when it was never recorded)."""

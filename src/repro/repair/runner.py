@@ -74,6 +74,7 @@ class RepairRunner(HookEmitter):
         final_write: bool = True,
         max_retries: int = 3,
         retry_backoff: float = 0.5,
+        max_backoff: float | None = None,
         chunk_timeout: float | None = None,
         journal=None,
         on_all_done: Callable[["RepairRunner"], None] | None = None,
@@ -84,6 +85,8 @@ class RepairRunner(HookEmitter):
             raise SchedulingError("max_retries cannot be negative")
         if retry_backoff <= 0:
             raise SchedulingError("retry_backoff must be positive")
+        if max_backoff is not None and max_backoff <= 0:
+            raise SchedulingError("max_backoff must be positive (or None)")
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise SchedulingError("chunk_timeout must be positive")
         self.cluster = cluster
@@ -96,6 +99,10 @@ class RepairRunner(HookEmitter):
         self.final_write = final_write
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: Ceiling on the exponential retry delay (None = uncapped).
+        #: Without it, a high-attempt chunk's backoff can exceed the
+        #: chunk deadline and effectively park the repair.
+        self.max_backoff = max_backoff
         self.chunk_timeout = chunk_timeout
         #: Optional :class:`repro.journal.Journal` written through at
         #: every state transition (None = durability off).
@@ -188,6 +195,21 @@ class RepairRunner(HookEmitter):
         self.emit("chunks_added", self, chunks=list(adopted))
         self._fill()
         return adopted
+
+    def set_concurrency(self, concurrency: int) -> None:
+        """Retarget the parallelism cap mid-run (the controller's knob).
+
+        Lowering the cap never cancels in-flight repairs — it only
+        stops new launches until completions drain below the new cap
+        (pacing, not preemption). Raising it immediately fills the
+        freed slots from the pending queue.
+        """
+        if concurrency < 1:
+            raise SchedulingError("concurrency must be at least 1")
+        raised = concurrency > self.concurrency
+        self.concurrency = concurrency
+        if raised and self._started and not self._crashed and self.pending:
+            self._fill()
 
     def crash(self) -> None:
         """Tear the coordinator down mid-run (control-plane crash).
@@ -325,6 +347,8 @@ class RepairRunner(HookEmitter):
             self._mark_lost(chunk)
         else:
             delay = self.retry_backoff * 2 ** (self._attempts.get(chunk, 1) - 1)
+            if self.max_backoff is not None:
+                delay = min(delay, self.max_backoff)
             self._retry_wait.add(chunk)
             tracer = get_tracer()
             if tracer.enabled:

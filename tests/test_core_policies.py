@@ -86,6 +86,26 @@ class TestAdmission:
         assert coord.done
         assert max_seen <= 3
 
+    def test_set_concurrency_retargets_inflight_cap(self):
+        cluster, store, injector, monitor = make_env(num_stripes=40, link=mbs(20))
+        report = injector.fail_nodes([0])
+        coord = make_coord(
+            cluster, store, injector, monitor, max_inflight=2, t_phase=30.0
+        )
+        coord.repair(report.failed_chunks)
+        before = dict(coord.in_flight)
+        coord.set_concurrency(1)
+        # Lowering never cancels: the in-flight repairs keep running.
+        assert coord.in_flight == before
+        coord.set_concurrency(5)
+        assert len(coord.in_flight) > len(before)
+        with pytest.raises(SchedulingError):
+            coord.set_concurrency(0)
+        while not coord.done and cluster.sim.now < 2000:
+            cluster.sim.run(until=cluster.sim.now + 1.0)
+        assert coord.done
+        assert len(coord.completed) == len(report.failed_chunks)
+
     def test_refill_happens_within_phase(self):
         cluster, store, injector, monitor = make_env(num_stripes=40, link=mbs(50))
         report = injector.fail_nodes([0])

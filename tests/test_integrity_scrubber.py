@@ -93,6 +93,32 @@ class TestScanning:
         expected = len(cs) * CHUNK / mbs(80.0)
         assert cluster.sim.now == pytest.approx(expected, rel=0.1)
 
+    def test_set_rate_repaces_a_live_scan(self):
+        """Regression: ``_interval`` was frozen at construction, so a
+        rate change was silently ignored. Halving the rate mid-pass must
+        double the spacing of subsequent scans and stretch the pass."""
+        cluster, store, injector, cs = make_env()
+        scrubber = make_scrubber(cluster, store, injector, cs,
+                                 rate_mbs=80.0, passes=1)
+        scrubber.start()
+        cluster.sim.run(until=1.0)
+        half_pace = scrubber.chunks_scanned
+        scrubber.set_rate(mbs(40.0))
+        assert scrubber.rate == mbs(40.0)
+        cluster.sim.run()
+        # 10 scans in the first second (80 MB/s over 8 MB chunks), the
+        # remaining 50 at 5/s: about 11 s total instead of 6 s.
+        expected = 1.0 + (len(cs) - half_pace) * CHUNK / mbs(40.0)
+        assert cluster.sim.now == pytest.approx(expected, rel=0.1)
+
+    def test_set_rate_validation(self):
+        cluster, store, injector, cs = make_env()
+        scrubber = make_scrubber(cluster, store, injector, cs)
+        with pytest.raises(SimulationError):
+            scrubber.set_rate(0.0)
+        with pytest.raises(SimulationError):
+            scrubber.set_rate(-5.0)
+
     def test_skips_quarantined_and_missing_chunks(self):
         cluster, store, injector, cs = make_env()
         chunks = list(cs.chunks())

@@ -155,6 +155,54 @@ class TestRecorderSampling:
         recorder.stop()
         assert not recorder.started
 
+    def test_stop_closes_final_partial_window_with_true_rate(self):
+        """Regression: activity between the last window boundary and
+        ``stop()`` used to vanish, and a hypothetical closing sample
+        would have divided by the full window, deflating the rate. The
+        partial window must close on stop and scale by actual elapsed
+        span: 3 increments over 0.5s = 6.0/s, not 3.0/s."""
+        sim = Simulator()
+        registry = MetricsRegistry()
+        recorder = TimeseriesRecorder(sim, window=1.0)
+        recorder.track_registry(registry)
+        requests = registry.counter("requests")
+        recorder.start()
+        sim.schedule(0.5, lambda: requests.inc(10))
+        sim.schedule(2.2, lambda: requests.inc(3))
+        sim.run(until=2.5)
+        recorder.stop()
+        series = recorder.get("rate.requests")
+        assert series.times == [1.0, 2.0, 2.5]
+        assert series.values == [10.0, 0.0, 6.0]
+
+    def test_stop_at_boundary_does_not_emit_empty_window(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        recorder = TimeseriesRecorder(sim, window=1.0)
+        recorder.track_registry(registry)
+        registry.counter("requests").inc()
+        recorder.start()
+        sim.run(until=2.0)
+        windows = recorder.windows_closed
+        recorder.stop()  # sim.now == the last boundary: nothing to close
+        assert recorder.windows_closed == windows
+        assert recorder.get("rate.requests").times == [1.0, 2.0]
+
+    def test_latest_and_last_close(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        recorder = TimeseriesRecorder(sim, window=1.0)
+        recorder.track_registry(registry)
+        requests = registry.counter("requests")
+        assert recorder.last_close is None
+        assert recorder.latest("rate.requests") == 0.0
+        assert recorder.latest("rate.requests", default=-1.0) == -1.0
+        recorder.start()
+        sim.schedule(0.5, lambda: requests.inc(4))
+        sim.run(until=1.0)
+        assert recorder.last_close == 1.0
+        assert recorder.latest("rate.requests") == 4.0
+
     def test_unknown_series_raises_with_hint(self):
         recorder = TimeseriesRecorder(Simulator(), window=1.0)
         with pytest.raises(ReproError, match="no timeseries"):

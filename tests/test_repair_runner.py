@@ -124,6 +124,56 @@ class TestRunnerMechanics:
         cluster.sim.run()
         assert max_seen <= 2
 
+    def test_set_concurrency_raise_fills_freed_slots(self):
+        cluster, store, injector = make_env(num_stripes=40)
+        report = injector.fail_nodes([0])
+        runner = RepairRunner(
+            cluster, store, injector, ConventionalRepair(seed=4),
+            chunk_size=CHUNK, slice_size=SLICE, concurrency=1,
+        )
+        runner.repair(report.failed_chunks)
+        assert len(runner.in_flight) == 1
+        runner.set_concurrency(4)
+        # The raise launches pending chunks immediately, no tick needed.
+        assert len(runner.in_flight) == 4
+        cluster.sim.run()
+        assert runner.done and runner.lost == []
+
+    def test_set_concurrency_lower_paces_without_preempting(self):
+        cluster, store, injector = make_env(num_stripes=40)
+        report = injector.fail_nodes([0])
+        runner = RepairRunner(
+            cluster, store, injector, ConventionalRepair(seed=4),
+            chunk_size=CHUNK, slice_size=SLICE, concurrency=4,
+        )
+        runner.repair(report.failed_chunks)
+        in_flight = dict(runner.in_flight)
+        assert len(in_flight) == 4
+        runner.set_concurrency(1)
+        # Nothing cancelled: the same four instances are still live ...
+        assert runner.in_flight == in_flight
+        # ... and once they drain, launches respect the new cap.
+        max_seen = 0
+        t = cluster.sim.now
+        while not runner.done and t < 10000:
+            t = cluster.sim.run(until=t + 0.5)
+            if len(runner.in_flight) < 4:
+                max_seen = max(max_seen, len(runner.in_flight))
+            if cluster.sim.pending_events() == 0:
+                break
+        cluster.sim.run()
+        assert runner.done
+        assert max_seen <= 1
+
+    def test_set_concurrency_validation(self):
+        cluster, store, injector = make_env()
+        runner = RepairRunner(
+            cluster, store, injector, ConventionalRepair(),
+            chunk_size=CHUNK, slice_size=SLICE,
+        )
+        with pytest.raises(SchedulingError):
+            runner.set_concurrency(0)
+
     def test_faster_network_repairs_faster(self):
         results = {}
         for bw in (mbs(50), mbs(200)):
