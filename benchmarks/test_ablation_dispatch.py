@@ -12,11 +12,11 @@ from conftest import emit
 
 from repro.experiments import ExperimentConfig
 from repro.experiments.harness import run_sim_until
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 
 
 def _run_chameleon(config, *, relay_fraction=None, random_destination=False):
-    scenario = Scenario(config)
+    scenario = Testbed.build(config)
     scenario.start_foreground()
     scenario.cluster.sim.run(until=6.0)
     report = scenario.fail_nodes(1)

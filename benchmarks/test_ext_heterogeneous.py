@@ -12,7 +12,7 @@ from conftest import emit
 from repro.cluster import gbps
 from repro.experiments import ExperimentConfig
 from repro.experiments.harness import run_repair_experiment
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 
 ALGORITHMS = ("CR", "PPR", "ECPipe", "ChameleonEC")
 
@@ -22,7 +22,7 @@ def run_heterogeneous(scale: float, seed: int = 0) -> dict[str, float]:
     results = {}
     for algorithm in ALGORITHMS:
         config = ExperimentConfig.scaled(scale, seed=seed)
-        scenario = Scenario(config)
+        scenario = Testbed.build(config)
         # Rebuild the cluster with slow nodes before any traffic starts.
         for node_id, params in slow.items():
             node = scenario.cluster.node(node_id)

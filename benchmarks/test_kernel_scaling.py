@@ -1,0 +1,157 @@
+"""Macro-benchmark: columnar kernel vs dict scheduler at YCSB scale.
+
+The tentpole payoff gate. A 1000-node cluster serves a YCSB-style
+read/update mix of 100,000 closed-over flows (scaled down by
+``REPRO_BENCH_SCALE``): every request crosses the source node's uplink
+and the destination node's downlink, a fifth of the traffic hammers a
+hot 5% of nodes, and arrivals smear over a fixed window so thousands of
+flows are concurrently in flight.
+
+Both schedulers replay the identical workload. The contract checked
+here is the project's whole reason to carry two implementations:
+
+* the :class:`ColumnarFlowScheduler` must reproduce the dict
+  :class:`FlowScheduler`'s completion timeline *exactly* (``==``), and
+* it must execute at least 5x fewer per-flow Python hot-path operations
+  (``py_flow_ops``: per-flow settles, rate writes, and heap pops on the
+  dict path; only the unavoidable cancel settles and one attach/detach
+  pair per flow on the columnar path).
+
+When ``REPRO_KERNEL_BENCH_OUT`` is set, a machine-readable verdict
+document is written there. Its content is purely a function of the
+workload (no wall-clock timestamps), so two runs at the same scale must
+produce byte-identical files — CI runs it twice and diffs.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+from conftest import emit
+
+from repro.sim import (
+    ColumnarFlowScheduler,
+    Flow,
+    FlowScheduler,
+    RateAllocator,
+    Resource,
+    Simulator,
+)
+
+FULL_NODES = 1000
+FULL_FLOWS = 100_000
+LINK_CAPACITY = 100.0
+ARRIVAL_WINDOW_S = 60.0
+HOT_NODE_FRACTION = 0.05
+HOT_TRAFFIC_FRACTION = 0.2
+READ_FRACTION = 0.95
+
+
+def _build_requests(num_nodes, num_flows, seed=11):
+    """YCSB-ish request stream: (start, name, size, src, dst, op) rows."""
+    rng = np.random.default_rng(seed)
+    hot = max(1, int(num_nodes * HOT_NODE_FRACTION))
+    starts = rng.uniform(0, ARRIVAL_WINDOW_S, num_flows)
+    is_hot = rng.random(num_flows) < HOT_TRAFFIC_FRACTION
+    servers = np.where(
+        is_hot,
+        rng.integers(0, hot, num_flows),
+        rng.integers(0, num_nodes, num_flows),
+    )
+    clients = rng.integers(0, num_nodes, num_flows)
+    is_read = rng.random(num_flows) < READ_FRACTION
+    sizes = rng.integers(4, 64, num_flows).astype(float)
+    reqs = []
+    for i in range(num_flows):
+        # Reads move server -> client; updates move client -> server.
+        src, dst = (
+            (int(servers[i]), int(clients[i]))
+            if is_read[i]
+            else (int(clients[i]), int(servers[i]))
+        )
+        reqs.append((float(starts[i]), f"q{i}", float(sizes[i]), src, dst,
+                     "read" if is_read[i] else "update"))
+    return reqs
+
+
+def _run_workload(make_scheduler, num_nodes, requests):
+    """Replay the request stream; returns (scheduler, completion times)."""
+    sim = Simulator()
+    sched = make_scheduler(sim)
+    uplinks = [Resource(f"n{i}-up", LINK_CAPACITY) for i in range(num_nodes)]
+    downlinks = [Resource(f"n{i}-down", LINK_CAPACITY) for i in range(num_nodes)]
+    flows = []
+    for start, name, size, src, dst, op in requests:
+        flow = Flow(name, size, (uplinks[src], downlinks[dst]), tag=op)
+        flows.append(flow)
+        sim.schedule(start, lambda f=flow: sched.start_flow(f))
+    sim.run()
+    assert all(f.done for f in flows)
+    return sched, [f.completed_at for f in flows]
+
+
+def test_kernel_ycsb_scaling(benchmark, bench_scale):
+    num_nodes = max(40, int(FULL_NODES * bench_scale))
+    num_flows = max(4000, int(FULL_FLOWS * bench_scale))
+    requests = _build_requests(num_nodes, num_flows)
+
+    col_sched, col_times = benchmark.pedantic(
+        _run_workload,
+        args=(lambda sim: ColumnarFlowScheduler(sim), num_nodes, requests),
+        rounds=1,
+        iterations=1,
+    )
+    dict_sched, dict_times = _run_workload(
+        lambda sim: FlowScheduler(sim, allocator=RateAllocator()),
+        num_nodes,
+        requests,
+    )
+
+    emit(
+        benchmark,
+        f"Columnar kernel: {num_flows}-flow YCSB mix over {num_nodes} nodes",
+        ["scheduler", "py_flow_ops", "ops/flow"],
+        [
+            ["dict", dict_sched.py_flow_ops,
+             round(dict_sched.py_flow_ops / num_flows, 2)],
+            ["columnar", col_sched.py_flow_ops,
+             round(col_sched.py_flow_ops / num_flows, 2)],
+        ],
+    )
+
+    # Byte-for-byte replay: the columnar path is a drop-in replacement,
+    # so completion instants must be exactly equal, not approximately.
+    assert col_times == dict_times
+
+    ratio = dict_sched.py_flow_ops / max(1, col_sched.py_flow_ops)
+    assert ratio >= 5.0, (
+        f"expected >=5x fewer per-flow Python ops, got "
+        f"{dict_sched.py_flow_ops} vs {col_sched.py_flow_ops} ({ratio:.1f}x)"
+    )
+
+    out = os.environ.get("REPRO_KERNEL_BENCH_OUT")
+    if out:
+        # Deterministic verdict document: derived from the workload and
+        # the simulated clock only, never the wall clock.
+        timeline = hashlib.sha256(
+            json.dumps(col_times).encode()
+        ).hexdigest()
+        doc = {
+            "benchmark": "kernel_ycsb_scaling",
+            "scale": bench_scale,
+            "num_nodes": num_nodes,
+            "num_flows": num_flows,
+            "py_flow_ops": {
+                "dict": dict_sched.py_flow_ops,
+                "columnar": col_sched.py_flow_ops,
+            },
+            "ops_ratio": round(ratio, 2),
+            "timeline_equal": col_times == dict_times,
+            "timeline_sha256": timeline,
+            "makespan_s": max(col_times),
+            "passed": ratio >= 5.0 and col_times == dict_times,
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -139,7 +139,10 @@ from repro.traffic import (
 
 __version__ = "0.1.0"
 
-__all__ = [
+# The frozen public surface (tested by tests/test_public_api.py): a
+# tuple so nothing can append to it at runtime. Additions are API
+# decisions — make them here, deliberately, together with that test.
+__all__ = (
     "GB",
     "KB",
     "MB",
@@ -223,4 +226,4 @@ __all__ = [
     "place_stripes",
     "reconcile",
     "ycsb_a",
-]
+)

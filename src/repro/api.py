@@ -1,10 +1,12 @@
 """Stable public facade: build and drive a testbed in a few lines.
 
-:class:`Testbed` subsumes :class:`repro.experiments.scenario.Scenario`
-(which remains as the internal implementation) and adds fault wiring:
-a :class:`repro.faults.FaultTimeline` installed on a testbed forwards
-the chunks lost in a mid-run crash to every repairer built through
-:meth:`Testbed.make_repairer`, so recovery "just works".
+:class:`Testbed` is the complete implementation — cluster, stripe
+placement, bandwidth monitor, foreground clients, repairer construction,
+fault wiring: a :class:`repro.faults.FaultTimeline` installed on a
+testbed forwards the chunks lost in a mid-run crash to every repairer
+built through :meth:`Testbed.make_repairer`, so recovery "just works".
+The legacy ``repro.experiments.scenario.Scenario`` is a deprecated
+alias of this class.
 
 Two construction styles::
 
@@ -29,38 +31,79 @@ Then::
 
 from __future__ import annotations
 
+import math
+import re
+
 from repro.cluster.datastore import ChunkStore, drop_node_chunks, encode_and_load
+from repro.cluster.failures import FailureInjector, FailureReport
 from repro.cluster.node import mbs
+from repro.cluster.placement import place_stripes
+from repro.cluster.stripes import ChunkId
+from repro.cluster.topology import Cluster
+from repro.codes.registry import make_code
 from repro.control import AdmissionController, AIMDPolicy
+from repro.core.chameleon import ChameleonRepair
+from repro.core.chameleon_io import ChameleonRepairIO
 from repro.errors import ReproError
+from repro.experiments.algorithms import (
+    ALL_ALGORITHMS,
+    BASELINES,
+    BOOSTED,
+    CHAMELEON_VARIANTS,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import MAX_SIM_TIME, run_sim_until
-from repro.experiments.scenario import ALL_ALGORITHMS, Scenario
+from repro.experiments.driver import MAX_SIM_TIME, run_sim_until
 from repro.faults.timeline import FaultTimeline
 from repro.integrity.ledger import IntegrityLedger
 from repro.integrity.scrubber import Scrubber
 from repro.journal import Journal, reconcile
+from repro.monitor.bandwidth import BandwidthMonitor
 from repro.obs.metrics import get_registry
 from repro.obs.timeseries import TimeseriesRecorder
 from repro.obs.tracer import get_tracer
-from repro.slo import RunTelemetry, SLOEvaluator, SLOReport, SLOSpec
+from repro.repair.base import ConventionalRepair, ECPipe, PPR
 from repro.repair.dataplane import DataPlane
-from repro.traffic.traces import TRACE_FACTORIES
+from repro.repair.repairboost import RepairBoost
+from repro.repair.runner import RepairRunner
+from repro.slo import RunTelemetry, SLOEvaluator, SLOReport, SLOSpec
+from repro.traffic.client import TraceClient
+from repro.traffic.router import KeyRouter
+from repro.traffic.schedule import TransitioningTrace
+from repro.traffic.traces import TRACE_FACTORIES, make_trace
 
 _CODE_FAMILIES = {"rs": "RS", "lrc": "LRC", "butterfly": "Butterfly"}
+_CODE_REGISTRY_FORM = re.compile(r"^([A-Za-z]+)\((\d+(?:,\d+)*)\)$")
+_CODE_VALID_FORMS = (
+    "'RS(k,m)' / 'rs-k-m', 'LRC(k,l,m)' / 'lrc-k-l-m', "
+    "'Butterfly(n,k)' / 'butterfly-n-k'"
+)
 
 
 def _normalize_code(spec: str) -> str:
-    """Accept both registry syntax ("RS(6,3)") and slugs ("rs-6-3")."""
-    if "(" in spec:
-        return spec
-    parts = spec.replace("_", "-").split("-")
-    family = _CODE_FAMILIES.get(parts[0].lower())
-    if family is None or len(parts) < 2 or not all(p.isdigit() for p in parts[1:]):
-        raise ReproError(
-            f"cannot parse code spec {spec!r}; use e.g. 'rs-6-3' or 'RS(6,3)'"
-        )
-    return f"{family}({','.join(parts[1:])})"
+    """Accept both registry syntax ("RS(6,3)") and slugs ("rs-6-3").
+
+    Every accepted spelling is validated here — family name known,
+    parameters all-numeric — so a typo fails at build-description time
+    with the list of valid forms, not deep inside the code registry.
+    """
+    compact = spec.replace(" ", "")
+    match = _CODE_REGISTRY_FORM.match(compact)
+    if match:
+        family = _CODE_FAMILIES.get(match.group(1).lower())
+        if family is not None:
+            return f"{family}({match.group(2)})"
+    else:
+        parts = compact.replace("_", "-").split("-")
+        family = _CODE_FAMILIES.get(parts[0].lower())
+        if (
+            family is not None
+            and len(parts) >= 2
+            and all(p.isdigit() for p in parts[1:])
+        ):
+            return f"{family}({','.join(parts[1:])})"
+    raise ReproError(
+        f"cannot parse code spec {spec!r}; valid forms: {_CODE_VALID_FORMS}"
+    )
 
 
 def _normalize_trace(name: str) -> str:
@@ -70,22 +113,61 @@ def _normalize_trace(name: str) -> str:
         return by_lower[name.lower()]
     except KeyError:
         raise ReproError(
-            f"unknown trace {name!r}; choose from {sorted(TRACE_FACTORIES)}"
+            f"unknown trace {name!r}; valid traces: {sorted(TRACE_FACTORIES)}"
         ) from None
 
 
-class Testbed(Scenario):
+class Testbed:
     """One ready-to-run testbed: cluster + stripes + monitor + clients.
 
-    Everything :class:`Scenario` offers, plus fault-timeline wiring and
-    repairer bookkeeping. Prefer this class in new code; ``Scenario``
-    stays importable for the existing experiment harnesses.
+    Builds the whole experiment substrate from an
+    :class:`ExperimentConfig` — including the columnar flow kernel when
+    ``config.columnar_kernel`` is set — and layers fault-timeline
+    wiring, integrity, journalling and admission control on top.
     """
 
     __test__ = False  # "Test" prefix; keep pytest from collecting this
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
-        super().__init__(config if config is not None else ExperimentConfig.scaled())
+        config = config if config is not None else ExperimentConfig.scaled()
+        self.config = config
+        self.code = make_code(config.code)
+        self.cluster = Cluster(
+            num_nodes=config.num_nodes,
+            num_clients=config.num_clients,
+            link_bw=config.link_bw,
+            disk_read_bw=config.disk_read_bw,
+            disk_write_bw=config.disk_write_bw,
+            racks=config.racks,
+            oversubscription=config.oversubscription,
+            columnar_kernel=config.columnar_kernel,
+        )
+        # When tracing is on, timestamps follow this testbed's simulator
+        # (successive testbeds lay out sequentially in one trace file).
+        get_tracer().bind_clock(self.cluster.sim)
+        # Enough stripes that the first failed node holds >= num_chunks
+        # chunks (each node appears in a stripe with probability n/N).
+        expected_per_stripe = self.code.n / config.num_nodes
+        num_stripes = max(
+            config.num_chunks,
+            math.ceil(config.num_chunks / expected_per_stripe * 1.3),
+        )
+        self.store = place_stripes(
+            self.code,
+            num_stripes,
+            self.cluster.storage_ids,
+            chunk_size=int(config.chunk_size),
+            seed=config.seed,
+        )
+        self.injector = FailureInjector(self.cluster, self.store)
+        # The paper's 5 s monitoring window, shrunk with the phase length
+        # so scaled runs still refresh estimates several times per phase.
+        monitor_window = max(0.5, 5.0 * config.t_phase / 20.0)
+        self.monitor = BandwidthMonitor(self.cluster, window=monitor_window)
+        self.monitor.start()
+        self.router = KeyRouter(self.store, self.cluster)
+        self.clients: list[TraceClient] = []
+        self.latency = None
         #: Every repairer built through :meth:`make_repairer`; crash
         #: reports from an installed fault timeline fan out to these.
         self.repairers: list = []
@@ -115,6 +197,95 @@ class Testbed(Scenario):
         """Start a fluent builder (``.with_code(...)...build()``)."""
         return TestbedBuilder(cls)
 
+    # -- foreground -----------------------------------------------------------
+
+    def start_foreground(
+        self,
+        trace: str | None = None,
+        *,
+        num_clients: int | None = None,
+        transition_segments: list[tuple[float, str]] | None = None,
+    ) -> None:
+        """Launch closed-loop clients replaying the configured trace.
+
+        With timeseries enabled, the foreground latency recorder joins
+        the sampler automatically.
+        """
+        from repro.metrics.latency import LatencyRecorder
+
+        cfg = self.config
+        self.latency = LatencyRecorder("foreground")
+        count = len(self.cluster.clients) if num_clients is None else num_clients
+        for i, node in enumerate(self.cluster.clients[:count]):
+            if transition_segments is not None:
+                generator = TransitioningTrace(
+                    self.cluster.sim,
+                    [
+                        (duration, make_trace(name, seed=cfg.seed * 97 + i * 13 + j))
+                        for j, (duration, name) in enumerate(transition_segments)
+                    ],
+                )
+            else:
+                generator = make_trace(
+                    trace if trace is not None else cfg.trace,
+                    seed=cfg.seed * 97 + i * 13 + 1,
+                )
+            # Bursty ON/OFF behaviour with per-client hot-key affinity:
+            # the occupied bandwidth then fluctuates over time and space,
+            # the root causes (R1/R2) ChameleonEC is designed around.
+            burst_factor = cfg.t_phase / 20.0
+            client = TraceClient(
+                self.cluster,
+                node,
+                generator,
+                self.router,
+                num_requests=cfg.requests_per_client,
+                slice_size=cfg.slice_size,
+                latency=self.latency,
+                burst_on=8.0 * burst_factor,
+                burst_off=5.0 * burst_factor,
+                key_offset=i * 7919,
+            )
+            self.clients.append(client)
+            client.start()
+        if self.timeseries is not None:
+            self.timeseries.track_latency(self.latency, name="foreground")
+
+    def stop_foreground(self) -> None:
+        """Ask every client to finish its in-flight request and stop."""
+        for client in self.clients:
+            client.stop()
+
+    def foreground_done(self) -> bool:
+        """True when every client has drained."""
+        return all(c.done for c in self.clients)
+
+    # -- failures -------------------------------------------------------------
+
+    def fail_nodes(self, count: int = 1) -> FailureReport:
+        """Fail the first ``count`` storage nodes; trim to num_chunks chunks.
+
+        With integrity enabled, the dead nodes' stored payloads are
+        dropped too (only the checksums survive as the write-back
+        oracle).
+        """
+        report = self.injector.fail_nodes(list(range(count)))
+        per_node = max(1, self.config.num_chunks // count)
+        chunks: list[ChunkId] = []
+        for node_id in report.failed_nodes:
+            node_chunks = [
+                c for c in report.failed_chunks if self._original_node(c) == node_id
+            ]
+            chunks.extend(node_chunks[:per_node])
+        report.failed_chunks = chunks[: self.config.num_chunks]
+        if self.chunk_store is not None:
+            for dead in report.failed_nodes:
+                drop_node_chunks(self.chunk_store, self.store, dead)
+        return report
+
+    def _original_node(self, chunk: ChunkId) -> int:
+        return self.store.node_of(chunk)
+
     # -- repair ---------------------------------------------------------------
 
     def make_repairer(self, name: str, **overrides):
@@ -128,7 +299,7 @@ class Testbed(Scenario):
         spec = (name, dict(overrides))
         if self.journal is not None:
             overrides.setdefault("journal", self.journal)
-        repairer = super().make_repairer(name, **overrides)
+        repairer = self._build_repairer(name, **overrides)
         self.repairers.append(repairer)
         self._repairer_specs[id(repairer)] = spec
         if self.dataplane is not None:
@@ -138,6 +309,49 @@ class Testbed(Scenario):
         if self.controller is not None:
             self.controller.attach_repairer(repairer)
         return repairer
+
+    def _build_repairer(self, name: str, **overrides):
+        """Construct (without registering) the named algorithm's repairer."""
+        cfg = self.config
+        seed = cfg.seed + 1
+        if name in BASELINES or name in BOOSTED:
+            inner = {"CR": ConventionalRepair, "PPR": PPR, "ECPipe": ECPipe}[
+                name.replace("RB+", "")
+            ](seed=seed)
+            algo = RepairBoost(inner, seed=seed) if name.startswith("RB+") else inner
+            return RepairRunner(
+                self.cluster,
+                self.store,
+                self.injector,
+                algo,
+                chunk_size=cfg.chunk_size,
+                slice_size=cfg.slice_size,
+                concurrency=overrides.pop("concurrency", cfg.concurrency),
+                **overrides,
+            )
+        if name in CHAMELEON_VARIANTS:
+            kwargs = dict(
+                chunk_size=cfg.chunk_size,
+                slice_size=cfg.slice_size,
+                t_phase=cfg.t_phase,
+                check_interval=cfg.check_interval,
+                straggler_threshold=cfg.straggler_threshold,
+                # Same reconstruction parallelism as the baselines so the
+                # comparison isolates scheduling quality.
+                max_inflight=cfg.concurrency,
+            )
+            kwargs.update(overrides)
+            if name == "ETRP":
+                kwargs["enable_reordering"] = False
+                kwargs["enable_retuning"] = False
+                coordinator = ChameleonRepair(
+                    self.cluster, self.store, self.injector, self.monitor, **kwargs
+                )
+                coordinator.name = "ETRP"
+                return coordinator
+            cls = ChameleonRepairIO if name == "ChameleonEC-IO" else ChameleonRepair
+            return cls(self.cluster, self.store, self.injector, self.monitor, **kwargs)
+        raise ReproError(f"unknown algorithm {name!r}; choose from {ALL_ALGORITHMS}")
 
     def run_until(self, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
         """Advance virtual time until ``predicate()`` holds (or ``limit``)."""
@@ -171,13 +385,6 @@ class Testbed(Scenario):
         recorder.start()
         self.timeseries = recorder
         return recorder
-
-    def start_foreground(self, *args, **kwargs) -> None:
-        """Launch clients (see :meth:`Scenario.start_foreground`); with
-        timeseries enabled, the latency recorder joins the sampler."""
-        super().start_foreground(*args, **kwargs)
-        if self.timeseries is not None:
-            self.timeseries.track_latency(self.latency, name="foreground")
 
     def set_slos(self, *specs: SLOSpec) -> None:
         """Declare the objectives :meth:`evaluate_slos` will assert."""
@@ -546,14 +753,6 @@ class Testbed(Scenario):
             if getattr(repairer, "_started", False):
                 repairer.add_chunks(report.failed_chunks)
 
-    def fail_nodes(self, count: int = 1):
-        """Fail nodes (see :meth:`Scenario.fail_nodes`), dropping payloads."""
-        report = super().fail_nodes(count)
-        if self.chunk_store is not None:
-            for dead in report.failed_nodes:
-                drop_node_chunks(self.chunk_store, self.store, dead)
-        return report
-
 
 class TestbedBuilder:
     """Fluent construction of a :class:`Testbed`.
@@ -629,6 +828,12 @@ class TestbedBuilder:
             self._overrides["disk_read_mbs"] = read_mbs
         if write_mbs is not None:
             self._overrides["disk_write_mbs"] = write_mbs
+        return self
+
+    def with_columnar_kernel(self, enabled: bool = True) -> "TestbedBuilder":
+        """Run the numpy columnar flow kernel (byte-identical results;
+        required for 1000-node/100k-flow scale)."""
+        self._overrides["columnar_kernel"] = enabled
         return self
 
     def scaled(self, scale: float) -> "TestbedBuilder":

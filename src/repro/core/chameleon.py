@@ -18,13 +18,11 @@ chunks first) and ``fastest`` (cheapest repairs first).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable
-
 from repro.cluster.failures import FailureInjector
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
 from repro.errors import SchedulingError
-from repro.events import HookEmitter, deprecated_callback
+from repro.events import HookEmitter
 from repro.faults.outcomes import ToleranceExceeded
 from repro.metrics.throughput import RepairThroughputMeter
 from repro.monitor.bandwidth import BandwidthMonitor
@@ -82,7 +80,6 @@ class ChameleonRepair(HookEmitter):
         max_backoff: float | None = None,
         chunk_timeout: float | None = None,
         journal=None,
-        on_all_done: Callable[["ChameleonRepair"], None] | None = None,
     ) -> None:
         if t_phase <= 0:
             raise SchedulingError("t_phase must be positive")
@@ -122,7 +119,6 @@ class ChameleonRepair(HookEmitter):
         #: Optional :class:`repro.journal.Journal` written through at
         #: every state transition (None = durability off).
         self.journal = journal
-        deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.dispatcher = TaskDispatcher(
             injector, monitor, chunk_size=chunk_size, io_aware=io_aware
         )

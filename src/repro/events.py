@@ -1,7 +1,6 @@
 """A minimal event-hook protocol shared across the package.
 
-Historically every component grew its own ad-hoc callback kwarg
-(``RepairRunner(on_all_done=...)``, ``TraceClient(on_done=...)``) plus
+Historically every component grew its own ad-hoc callback kwarg plus
 bare callback lists (``on_chunk_repaired``). :class:`HookEmitter` unifies
 them: any component that mixes it in exposes ``on(event, callback)`` and
 fires ``emit(event, **payload)``; the repair runners, the ChameleonEC
@@ -15,13 +14,13 @@ Conventions:
 * callbacks registered while an event is being emitted do not receive
   that emission (the subscriber list is snapshotted).
 
-The legacy constructor kwargs remain as thin deprecated shims that
-forward to :meth:`HookEmitter.on` (see :func:`deprecated_callback`).
+The legacy constructor kwargs (``on_all_done=``, ``on_done=``) went
+through a deprecation cycle and are gone; ``on(event, cb)`` is the only
+subscription path.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import defaultdict
 from typing import Any, Callable
 
@@ -73,25 +72,3 @@ class HookEmitter:
             hooks = defaultdict(list)
             self._hook_subscribers = hooks
         return hooks
-
-
-def deprecated_callback(
-    emitter: HookEmitter,
-    kwarg_name: str,
-    event: str,
-    callback: Hook | None,
-) -> None:
-    """Register a legacy callback kwarg as a hook, with a deprecation warning.
-
-    ``None`` (the kwarg's default) registers nothing and warns nothing, so
-    only code actually passing the old kwarg sees the warning.
-    """
-    if callback is None:
-        return
-    warnings.warn(
-        f"the {kwarg_name!r} keyword is deprecated; "
-        f"use .on({event!r}, callback) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    emitter.on(event, callback)

@@ -1,0 +1,11 @@
+"""Algorithm-name registry shared by the facade and the harnesses.
+
+A leaf module (no repro imports) so both :mod:`repro.api` and the
+experiment drivers can name the supported repair algorithms without
+creating an import cycle.
+"""
+
+BASELINES = ("CR", "PPR", "ECPipe")
+BOOSTED = ("RB+CR", "RB+PPR", "RB+ECPipe")
+CHAMELEON_VARIANTS = ("ChameleonEC", "ChameleonEC-IO", "ETRP")
+ALL_ALGORITHMS = BASELINES + BOOSTED + CHAMELEON_VARIANTS

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_sim_until
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 from repro.repair.base import ConventionalRepair, ECPipe, PPR
 from repro.repair.degraded import run_degraded_read
 
@@ -24,7 +24,7 @@ def degraded_read_throughput(
     config: ExperimentConfig, algorithm: str, *, foreground: bool = True
 ) -> float:
     """One degraded read under foreground traffic; returns MB/s."""
-    scenario = Scenario(config)
+    scenario = Testbed.build(config)
     if foreground:
         scenario.start_foreground()
         scenario.cluster.sim.run(until=scenario.cluster.sim.now + 6.0)

@@ -13,7 +13,7 @@ from repro.cluster.node import MB
 from repro.cluster.topology import Cluster
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_sim_until
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 
 ALGORITHMS = ("CR", "PPR", "ECPipe", "ETRP", "ChameleonEC")
 PAPER_OFFSETS = (0.0, 5.0, 10.0)
@@ -96,7 +96,7 @@ def phase_throughput_with_straggler(
     straggler_node: int = 1,
 ) -> float:
     """Repair throughput (MB/s) of the phase containing the straggler."""
-    scenario = Scenario(config)
+    scenario = Testbed.build(config)
     scenario.start_foreground()
     scenario.cluster.sim.run(until=scenario.cluster.sim.now + 6.0)
     report = scenario.fail_nodes(1)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.analysis.reliability import ReliabilityModel, loss_probability_curve
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_sim_until
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 from repro.metrics.linkstats import LinkStatsCollector
 
 FIG2_THROUGHPUTS_MBS = [50, 100, 200, 400, 800, 1600]
@@ -34,7 +34,7 @@ def _collect_link_stats(
 
     Returns (uplink collector, downlink collector) over storage nodes.
     """
-    scenario = Scenario(config)
+    scenario = Testbed.build(config)
     scenario.start_foreground()
     scenario.cluster.sim.run(until=scenario.cluster.sim.now + window)
     report = scenario.fail_nodes(1)

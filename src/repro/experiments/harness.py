@@ -3,46 +3,24 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import ConvergenceError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario import Scenario
+from repro.experiments.driver import MAX_SIM_TIME, run_sim_until
 from repro.obs.tracer import get_tracer
 
-#: Hard stop for any simulated run (seconds of virtual time).
-MAX_SIM_TIME = 200_000.0
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from repro.api import Testbed
 
-
-def run_sim_until(cluster, predicate, step: float = 5.0, limit: float = MAX_SIM_TIME):
-    """Advance the simulator until ``predicate()`` holds or ``limit``.
-
-    The predicate is re-checked at least every ``step`` seconds of
-    virtual time, but the clock jumps straight to the next queued event
-    when that lies further away — a sparse or drained event queue no
-    longer costs thousands of idle ``run()`` probes. With an empty
-    queue, nothing can change except the clock itself, so it advances
-    directly to ``limit`` (satisfying any time-based predicate on the
-    way out).
-
-    Raises :class:`repro.errors.ConvergenceError` (a ``RuntimeError``
-    subclass) when ``limit`` is reached with the predicate still false —
-    never returns silently with the condition unmet.
-    """
-    while not predicate() and cluster.sim.now < limit:
-        next_time = cluster.sim.peek_next_time()
-        if next_time is None:
-            cluster.sim.run(until=limit)
-            break
-        target = min(max(cluster.sim.now + step, next_time), limit)
-        cluster.sim.run(until=target)
-    if not predicate():
-        raise ConvergenceError(
-            f"simulation hit the {limit} s virtual-time limit at "
-            f"t={cluster.sim.now} with the predicate still false; "
-            "raise `limit` or check for stalled work "
-            "(e.g. a crashed coordinator that was never recovered)"
-        )
-    return cluster.sim.now
+__all__ = [
+    "MAX_SIM_TIME",
+    "RepairResult",
+    "format_table",
+    "run_repair_experiment",
+    "run_sim_until",
+    "run_trace_only",
+    "run_trace_with_repair",
+]
 
 
 @dataclass
@@ -93,10 +71,14 @@ def run_repair_experiment(
     trace: str | None = None,
     transition_segments: list[tuple[float, str]] | None = None,
     warmup: float = 6.0,
-    scenario: Scenario | None = None,
+    scenario: "Testbed | None" = None,
     repairer_overrides: dict | None = None,
 ) -> RepairResult:
     """One full measurement: foreground + failure + repair to completion.
+
+    ``scenario`` accepts a pre-built :class:`repro.api.Testbed` (the
+    keyword keeps its historical name); ``None`` builds one from
+    ``config``.
 
     Foreground latency is always measured over a *fixed* horizon (at
     least three phases), not just the repair window: a fast repair
@@ -104,7 +86,9 @@ def run_repair_experiment(
     trace off right at repair completion would charge the fast algorithm
     a window consisting purely of its worst moments.
     """
-    scenario = scenario if scenario is not None else Scenario(config)
+    from repro.api import Testbed
+
+    scenario = scenario if scenario is not None else Testbed.build(config)
     tracer = get_tracer()
     run_span = tracer.span(
         "experiment.run",
@@ -156,8 +140,10 @@ def run_trace_only(
     trace: str | None = None,
 ) -> float:
     """Trace execution time with no repair running (Exp#2's ``T``)."""
+    from repro.api import Testbed
+
     cfg = config.with_(requests_per_client=requests_per_client)
-    scenario = Scenario(cfg)
+    scenario = Testbed.build(cfg)
     scenario.start_foreground(trace)
     run_sim_until(scenario.cluster, scenario.foreground_done)
     return max(c.execution_time for c in scenario.clients)
@@ -171,8 +157,10 @@ def run_trace_with_repair(
     trace: str | None = None,
 ) -> tuple[float, RepairResult]:
     """Trace execution time while a repair runs (Exp#2's ``T*``)."""
+    from repro.api import Testbed
+
     cfg = config.with_(requests_per_client=requests_per_client)
-    scenario = Scenario(cfg)
+    scenario = Testbed.build(cfg)
     run_span = get_tracer().span(
         "experiment.run", track="harness", algorithm=algorithm,
         trace=trace or cfg.trace,

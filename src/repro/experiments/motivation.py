@@ -12,7 +12,7 @@ from repro.experiments.harness import (
     run_repair_experiment,
     run_sim_until,
 )
-from repro.experiments.scenario import Scenario
+from repro.api import Testbed
 
 ALGORITHMS = ("CR", "PPR", "ECPipe")
 CLIENT_COUNTS = (0, 1, 2, 3, 4)
@@ -33,7 +33,7 @@ def run_motivation(
             if clients == 0:
                 result = run_repair_experiment(config, algorithm, foreground=False)
             else:
-                scenario = Scenario(config)
+                scenario = Testbed.build(config)
                 scenario.start_foreground(num_clients=clients)
                 scenario.cluster.sim.run(until=scenario.cluster.sim.now + 6.0)
                 report = scenario.fail_nodes(1)
@@ -53,7 +53,7 @@ def run_motivation(
 
     # YCSB-only latency baseline (no repair at all).
     config = ExperimentConfig.scaled(scale, seed=seed)
-    scenario = Scenario(config)
+    scenario = Testbed.build(config)
     scenario.start_foreground()
     scenario.cluster.sim.run(until=scenario.cluster.sim.now + 20.0)
     scenario.stop_foreground()

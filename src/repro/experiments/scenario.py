@@ -1,192 +1,41 @@
-"""Builds a ready-to-run testbed from an :class:`ExperimentConfig`."""
+"""Deprecated: :class:`Scenario` is now :class:`repro.api.Testbed`.
+
+This module survives only as a compatibility shim. New code should use
+the public facade::
+
+    from repro import Testbed
+
+    tb = Testbed.build(config)
+
+The algorithm-name constants moved to
+:mod:`repro.experiments.algorithms`; they are re-exported here for
+callers that imported them from this module.
+"""
 
 from __future__ import annotations
 
-import math
+import warnings
 
-from repro.cluster.failures import FailureInjector, FailureReport
-from repro.cluster.placement import place_stripes
-from repro.cluster.stripes import ChunkId
-from repro.cluster.topology import Cluster
-from repro.codes.registry import make_code
-from repro.core.chameleon import ChameleonRepair
-from repro.core.chameleon_io import ChameleonRepairIO
-from repro.errors import ReproError
+from repro.api import Testbed
+from repro.experiments.algorithms import (  # noqa: F401  (compat re-exports)
+    ALL_ALGORITHMS,
+    BASELINES,
+    BOOSTED,
+    CHAMELEON_VARIANTS,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.monitor.bandwidth import BandwidthMonitor
-from repro.obs.tracer import get_tracer
-from repro.repair.base import ConventionalRepair, ECPipe, PPR
-from repro.repair.repairboost import RepairBoost
-from repro.repair.runner import RepairRunner
-from repro.traffic.client import TraceClient
-from repro.traffic.router import KeyRouter
-from repro.traffic.schedule import TransitioningTrace
-from repro.traffic.traces import make_trace
-
-BASELINES = ("CR", "PPR", "ECPipe")
-BOOSTED = ("RB+CR", "RB+PPR", "RB+ECPipe")
-CHAMELEON_VARIANTS = ("ChameleonEC", "ChameleonEC-IO", "ETRP")
-ALL_ALGORITHMS = BASELINES + BOOSTED + CHAMELEON_VARIANTS
 
 
-class Scenario:
-    """One experiment testbed: cluster + stripes + monitor + clients."""
+class Scenario(Testbed):
+    """Deprecated alias of :class:`repro.api.Testbed`."""
+
+    __test__ = False  # "Scenario" subclassing Testbed; keep pytest away
 
     def __init__(self, config: ExperimentConfig) -> None:
-        self.config = config
-        self.code = make_code(config.code)
-        self.cluster = Cluster(
-            num_nodes=config.num_nodes,
-            num_clients=config.num_clients,
-            link_bw=config.link_bw,
-            disk_read_bw=config.disk_read_bw,
-            disk_write_bw=config.disk_write_bw,
-            racks=config.racks,
-            oversubscription=config.oversubscription,
+        warnings.warn(
+            "repro.experiments.scenario.Scenario is deprecated; use "
+            "repro.Testbed (e.g. Testbed.build(config)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        # When tracing is on, timestamps follow this scenario's simulator
-        # (successive scenarios lay out sequentially in one trace file).
-        get_tracer().bind_clock(self.cluster.sim)
-        # Enough stripes that the first failed node holds >= num_chunks
-        # chunks (each node appears in a stripe with probability n/N).
-        expected_per_stripe = self.code.n / config.num_nodes
-        num_stripes = max(
-            config.num_chunks,
-            math.ceil(config.num_chunks / expected_per_stripe * 1.3),
-        )
-        self.store = place_stripes(
-            self.code,
-            num_stripes,
-            self.cluster.storage_ids,
-            chunk_size=int(config.chunk_size),
-            seed=config.seed,
-        )
-        self.injector = FailureInjector(self.cluster, self.store)
-        # The paper's 5 s monitoring window, shrunk with the phase length
-        # so scaled runs still refresh estimates several times per phase.
-        monitor_window = max(0.5, 5.0 * config.t_phase / 20.0)
-        self.monitor = BandwidthMonitor(self.cluster, window=monitor_window)
-        self.monitor.start()
-        self.router = KeyRouter(self.store, self.cluster)
-        self.clients: list[TraceClient] = []
-        self.latency = None
-
-    # -- foreground --------------------------------------------------------------
-
-    def start_foreground(
-        self,
-        trace: str | None = None,
-        *,
-        num_clients: int | None = None,
-        transition_segments: list[tuple[float, str]] | None = None,
-    ) -> None:
-        """Launch closed-loop clients replaying the configured trace."""
-        from repro.metrics.latency import LatencyRecorder
-
-        cfg = self.config
-        self.latency = LatencyRecorder("foreground")
-        count = len(self.cluster.clients) if num_clients is None else num_clients
-        for i, node in enumerate(self.cluster.clients[:count]):
-            if transition_segments is not None:
-                generator = TransitioningTrace(
-                    self.cluster.sim,
-                    [
-                        (duration, make_trace(name, seed=cfg.seed * 97 + i * 13 + j))
-                        for j, (duration, name) in enumerate(transition_segments)
-                    ],
-                )
-            else:
-                generator = make_trace(
-                    trace if trace is not None else cfg.trace,
-                    seed=cfg.seed * 97 + i * 13 + 1,
-                )
-            # Bursty ON/OFF behaviour with per-client hot-key affinity:
-            # the occupied bandwidth then fluctuates over time and space,
-            # the root causes (R1/R2) ChameleonEC is designed around.
-            burst_factor = cfg.t_phase / 20.0
-            client = TraceClient(
-                self.cluster,
-                node,
-                generator,
-                self.router,
-                num_requests=cfg.requests_per_client,
-                slice_size=cfg.slice_size,
-                latency=self.latency,
-                burst_on=8.0 * burst_factor,
-                burst_off=5.0 * burst_factor,
-                key_offset=i * 7919,
-            )
-            self.clients.append(client)
-            client.start()
-
-    def stop_foreground(self) -> None:
-        """Ask every client to finish its in-flight request and stop."""
-        for client in self.clients:
-            client.stop()
-
-    def foreground_done(self) -> bool:
-        """True when every client has drained."""
-        return all(c.done for c in self.clients)
-
-    # -- failures ----------------------------------------------------------------
-
-    def fail_nodes(self, count: int = 1) -> FailureReport:
-        """Fail the first ``count`` storage nodes; trim to num_chunks chunks."""
-        report = self.injector.fail_nodes(list(range(count)))
-        per_node = max(1, self.config.num_chunks // count)
-        chunks: list[ChunkId] = []
-        for node_id in report.failed_nodes:
-            node_chunks = [
-                c for c in report.failed_chunks if self._original_node(c) == node_id
-            ]
-            chunks.extend(node_chunks[:per_node])
-        report.failed_chunks = chunks[: self.config.num_chunks]
-        return report
-
-    def _original_node(self, chunk: ChunkId) -> int:
-        return self.store.node_of(chunk)
-
-    # -- algorithms -----------------------------------------------------------------
-
-    def make_repairer(self, name: str, **overrides):
-        """Build a runner/coordinator for the named algorithm."""
-        cfg = self.config
-        seed = cfg.seed + 1
-        if name in BASELINES or name in BOOSTED:
-            inner = {"CR": ConventionalRepair, "PPR": PPR, "ECPipe": ECPipe}[
-                name.replace("RB+", "")
-            ](seed=seed)
-            algo = RepairBoost(inner, seed=seed) if name.startswith("RB+") else inner
-            return RepairRunner(
-                self.cluster,
-                self.store,
-                self.injector,
-                algo,
-                chunk_size=cfg.chunk_size,
-                slice_size=cfg.slice_size,
-                concurrency=overrides.pop("concurrency", cfg.concurrency),
-                **overrides,
-            )
-        if name in CHAMELEON_VARIANTS:
-            kwargs = dict(
-                chunk_size=cfg.chunk_size,
-                slice_size=cfg.slice_size,
-                t_phase=cfg.t_phase,
-                check_interval=cfg.check_interval,
-                straggler_threshold=cfg.straggler_threshold,
-                # Same reconstruction parallelism as the baselines so the
-                # comparison isolates scheduling quality.
-                max_inflight=cfg.concurrency,
-            )
-            kwargs.update(overrides)
-            if name == "ETRP":
-                kwargs["enable_reordering"] = False
-                kwargs["enable_retuning"] = False
-                coordinator = ChameleonRepair(
-                    self.cluster, self.store, self.injector, self.monitor, **kwargs
-                )
-                coordinator.name = "ETRP"
-                return coordinator
-            cls = ChameleonRepairIO if name == "ChameleonEC-IO" else ChameleonRepair
-            return cls(self.cluster, self.store, self.injector, self.monitor, **kwargs)
-        raise ReproError(f"unknown algorithm {name!r}; choose from {ALL_ALGORITHMS}")
+        super().__init__(config)

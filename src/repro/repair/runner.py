@@ -27,13 +27,11 @@ transfers die) and every pending timer fires into a no-op.
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.cluster.failures import FailureInjector
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
 from repro.errors import ReproError, SchedulingError
-from repro.events import HookEmitter, deprecated_callback
+from repro.events import HookEmitter
 from repro.faults.outcomes import ToleranceExceeded
 from repro.metrics.throughput import RepairThroughputMeter
 from repro.obs.metrics import get_registry
@@ -77,7 +75,6 @@ class RepairRunner(HookEmitter):
         max_backoff: float | None = None,
         chunk_timeout: float | None = None,
         journal=None,
-        on_all_done: Callable[["RepairRunner"], None] | None = None,
     ) -> None:
         if concurrency < 1:
             raise SchedulingError("concurrency must be at least 1")
@@ -107,7 +104,6 @@ class RepairRunner(HookEmitter):
         #: Optional :class:`repro.journal.Journal` written through at
         #: every state transition (None = durability off).
         self.journal = journal
-        deprecated_callback(self, "on_all_done", "all_done", on_all_done)
         self.meter = RepairThroughputMeter()
         #: Fired as (chunk, final plan) when a chunk's repair completes;
         #: kept for backward compatibility — new code subscribes with

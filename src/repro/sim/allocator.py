@@ -63,6 +63,13 @@ def _progressive_fill(
     bottleneck resource (smallest fair share among its unfixed flows),
     freezes its flows at that share, subtracts their usage everywhere,
     and continues.
+
+    Floating-point contract: each round subtracts the frozen usage from
+    a resource as one fused ``share * count`` product (not ``count``
+    successive subtractions). The columnar kernel
+    (:class:`repro.sim.kernel.ColumnarRateAllocator`) performs the same
+    IEEE-754 operations in the same order on numpy arrays, which is what
+    makes the two paths byte-identical — change one, change both.
     """
     # ``users`` values are insertion-ordered dicts used as sets: iteration
     # order (bottleneck tie-breaks, freeze order, hence ``rates`` insertion
@@ -107,6 +114,7 @@ def _progressive_fill(
                 for flow in members:
                     rates.setdefault(flow, inf)
             break
+        removed: dict[Resource, int] = {}
         for flow in users.pop(bottleneck):
             rates[flow] = best_share
             n_unfixed -= 1
@@ -116,10 +124,12 @@ def _progressive_fill(
                 members = users.get(res)
                 if members is None:
                     continue
-                remaining[res] -= best_share
                 members.pop(flow, None)
-                if not members:
-                    del users[res]
+                removed[res] = removed.get(res, 0) + 1
+        for res, count in removed.items():
+            remaining[res] -= best_share * count
+            if not users[res]:
+                del users[res]
     return rates
 
 

@@ -18,6 +18,7 @@ _EPSILON_BYTES = 1e-6
 #: Completion entries within this many simulated seconds of the event
 #: timestamp are treated as due (guards float drift in ETA arithmetic).
 _EPSILON_TIME = 1e-9
+_INF = float("inf")
 _flow_ids = itertools.count()
 
 
@@ -27,6 +28,13 @@ class Flow:
     The flow occupies every resource in ``resources`` simultaneously (e.g.
     source uplink + destination downlink + destination disk) and advances
     at the max-min fair rate the allocator assigns.
+
+    Hot state (``remaining``, ``rate``, settle stamp, ETA) is stored in
+    plain slots until the flow is attached to a
+    :class:`repro.sim.kernel.FlowKernel`, after which the same properties
+    read and write the kernel's columnar arrays at the flow's slot — so
+    consumers (transfers, monitors, tests) never need to know which
+    scheduler owns the flow.
     """
 
     __slots__ = (
@@ -35,15 +43,17 @@ class Flow:
         "size",
         "resources",
         "tag",
-        "remaining",
-        "rate",
         "started_at",
         "completed_at",
         "cancelled",
         "on_complete",
         "_obs_span",
-        "_settled_at",
-        "_eta",
+        "_rem_v",
+        "_rate_v",
+        "_settled_v",
+        "_eta_v",
+        "_kernel",
+        "_slot",
     )
 
     def __init__(
@@ -60,15 +70,80 @@ class Flow:
         self.size = float(size)
         self.resources = tuple(resources)
         self.tag = tag
-        self.remaining = float(size)
-        self.rate = 0.0
         self.started_at: float | None = None
         self.completed_at: float | None = None
         self.cancelled = False
         self.on_complete: list[Callable[[Flow], None]] = []
         self._obs_span = None
-        self._settled_at = 0.0
-        self._eta: float | None = None
+        self._rem_v = float(size)
+        self._rate_v = 0.0
+        self._settled_v = 0.0
+        self._eta_v: float | None = None
+        self._kernel = None  # FlowKernel | None
+        self._slot = -1
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to deliver."""
+        kernel = self._kernel
+        if kernel is None:
+            return self._rem_v
+        return float(kernel.remaining[self._slot])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        kernel = self._kernel
+        if kernel is None:
+            self._rem_v = value
+        else:
+            kernel.remaining[self._slot] = value
+
+    @property
+    def rate(self) -> float:
+        """Current allocated transfer rate (bytes/s)."""
+        kernel = self._kernel
+        if kernel is None:
+            return self._rate_v
+        return float(kernel.rate[self._slot])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        kernel = self._kernel
+        if kernel is None:
+            self._rate_v = value
+        else:
+            kernel.rate[self._slot] = value
+
+    @property
+    def _settled_at(self) -> float:
+        kernel = self._kernel
+        if kernel is None:
+            return self._settled_v
+        return float(kernel.settled_at[self._slot])
+
+    @_settled_at.setter
+    def _settled_at(self, value: float) -> None:
+        kernel = self._kernel
+        if kernel is None:
+            self._settled_v = value
+        else:
+            kernel.settled_at[self._slot] = value
+
+    @property
+    def _eta(self) -> float | None:
+        kernel = self._kernel
+        if kernel is None:
+            return self._eta_v
+        eta = kernel.eta[self._slot]
+        return None if eta == _INF else float(eta)
+
+    @_eta.setter
+    def _eta(self, value: float | None) -> None:
+        kernel = self._kernel
+        if kernel is None:
+            self._eta_v = value
+        else:
+            kernel.eta[self._slot] = _INF if value is None else value
 
     @property
     def done(self) -> bool:
@@ -102,6 +177,11 @@ class FlowScheduler:
     invalidates the old one (stale entries are skipped on pop), so
     finding the next completion costs O(log flows) instead of a linear
     scan of the active set.
+
+    ``py_flow_ops`` counts per-flow Python-level hot-path operations
+    (settles, rate/ETA rewrites, completion-scan pops) — the scaling
+    benchmarks use it to compare this dict-backed scheduler against the
+    columnar :class:`repro.sim.kernel.ColumnarFlowScheduler`.
     """
 
     def __init__(self, sim: Simulator, allocator: RateAllocator | None = None) -> None:
@@ -111,6 +191,7 @@ class FlowScheduler:
         # reproducible run-to-run for deterministic replay.
         self.active: dict[Flow, None] = {}
         self.allocator = allocator if allocator is not None else RateAllocator()
+        self.py_flow_ops = 0
         self._recompute_event = None
         self._completion_event = None
         self._eta_heap: list[tuple[float, int, Flow]] = []
@@ -193,6 +274,7 @@ class FlowScheduler:
     # -- internal machinery -------------------------------------------------
 
     def _settle_flow(self, flow: Flow) -> None:
+        self.py_flow_ops += 1
         now = self.sim.now
         dt = now - flow._settled_at
         if dt <= 0:
@@ -214,6 +296,7 @@ class FlowScheduler:
         registry = get_registry()
         wall_start = time.perf_counter() if registry.enabled else 0.0
         touched = self.allocator.recompute(on_touch=self._settle_flow)
+        self.py_flow_ops += len(touched)
         now = self.sim.now
         for flow in touched:
             if flow not in self.active:
@@ -249,20 +332,25 @@ class FlowScheduler:
             )
         self._sync_completion_event()
 
-    def _sync_completion_event(self) -> None:
-        """Point the single completion event at the earliest live ETA."""
+    def _earliest_eta(self) -> float | None:
+        """Earliest live completion ETA, or None when nothing is pending."""
         heap = self._eta_heap
         while heap:
             eta, _, flow = heap[0]
             if flow._eta == eta and flow in self.active:
-                break
+                return eta
             heapq.heappop(heap)  # stale: rate changed, cancelled, or done
-        if not heap:
+        return None
+
+    def _sync_completion_event(self) -> None:
+        """Point the single completion event at the earliest live ETA."""
+        earliest = self._earliest_eta()
+        if earliest is None:
             if self._completion_event is not None:
                 self._completion_event.cancel()
                 self._completion_event = None
             return
-        target = max(heap[0][0], self.sim.now)
+        target = max(earliest, self.sim.now)
         if self._completion_event is not None:
             if not self._completion_event.cancelled and (
                 self._completion_event.time == target
@@ -284,6 +372,7 @@ class FlowScheduler:
             if eta > now + _EPSILON_TIME:
                 break
             heapq.heappop(heap)
+            self.py_flow_ops += 1
             self._settle_flow(flow)
             if flow.remaining <= _EPSILON_BYTES or (
                 flow.rate > 0 and flow.remaining <= flow.rate * _EPSILON_TIME

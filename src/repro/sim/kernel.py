@@ -1,0 +1,848 @@
+"""Columnar flow-state kernel: numpy-backed hot state for 100k-flow scale.
+
+The dict-backed :class:`repro.sim.flows.FlowScheduler` and
+:class:`repro.sim.allocator.RateAllocator` touch Python objects once per
+flow per epoch, which caps practical scale at a few thousand concurrent
+flows. This module keeps the same observable behaviour — byte-identical
+rates, completion times and ordering, enforced by the equivalence
+battery in ``tests/test_allocator_equivalence.py`` — while storing the
+hot state in flat numpy arrays:
+
+* :class:`FlowKernel` — the columnar store. Each registered flow owns a
+  stable *slot* indexing parallel arrays (remaining bytes, rate, settle
+  stamp, ETA + ETA sequence number, size, tag id) plus a CSR row of
+  resource slots in a shared arena. Per-resource membership lives in
+  append-only slot buffers (ascending slot order == registration order,
+  which is exactly the insertion order the dict path iterates in).
+  Slots are never reused; dead entries are reclaimed by an
+  order-preserving compaction when the dead fraction grows.
+* :class:`ColumnarRateAllocator` — drop-in replacement for
+  ``RateAllocator``: vectorised component discovery and progressive
+  fill. Byte-equality with the dict path holds because both sides
+  perform the same IEEE-754 operations in the same order (see
+  ``_progressive_fill``'s floating-point contract and
+  :func:`_fold_argmin` below).
+* :class:`ColumnarFlowScheduler` — drop-in replacement for
+  ``FlowScheduler``: batch settle, vectorised ETA-index maintenance
+  (an ``(eta, seq)`` column pair replacing the lazy heap), and
+  one-pass coalescing of all same-instant completions.
+
+Byte-equality invariants (change one side, change both):
+
+* Freeze-round usage subtraction is one fused ``share * count`` product
+  per resource (both paths).
+* Bottleneck selection replicates the dict fold exactly: every fold
+  update is a strict prefix-minimum improvement, so running the exact
+  Python fold over just those candidates gives the identical pick.
+* ETA is ``now + remaining / rate`` on both paths (``rate == inf``
+  gives ``now + 0.0 == now`` exactly), and the ``(eta, seq)`` lexsort
+  order equals the heap's ``(eta, push-seq)`` pop order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, KeysView
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.sim.allocator import _SHARE_SLACK, AllocatableFlow, _unique_resources
+from repro.sim.engine import Simulator
+from repro.sim.flows import _EPSILON_BYTES, _EPSILON_TIME, Flow, FlowScheduler
+from repro.sim.resources import Resource
+
+_INF = float("inf")
+_EMPTY_SLOTS = np.empty(0, dtype=np.int64)
+
+
+def _grown(arr: np.ndarray, new_len: int) -> np.ndarray:
+    """A copy of ``arr`` grown to ``new_len`` (tail left zeroed/False)."""
+    out = np.zeros(new_len, dtype=arr.dtype)
+    out[: len(arr)] = arr
+    return out
+
+
+def _gather(values: np.ndarray, starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + lens[i]]`` row-major."""
+    total = int(lens.sum())
+    if total == 0:
+        return values[:0]
+    out_off = np.cumsum(lens) - lens
+    pos = np.arange(total, dtype=np.int64) + np.repeat(starts - out_off, lens)
+    return values[pos]
+
+
+def _fold_argmin(shares: np.ndarray) -> int:
+    """Index the dict path's bottleneck fold would pick over ``shares``.
+
+    The dict fold updates its best share at index ``i`` only when
+    ``shares[i] < best - _SHARE_SLACK``. Since ``best`` always sits
+    within ``_SHARE_SLACK`` above the running prefix minimum, every
+    update index is also a *strict* prefix-minimum improvement — so the
+    exact Python fold only needs to visit those few candidates (O(log n)
+    expected) to reproduce the identical pick. Returns -1 when the fold
+    would leave no bottleneck (empty input).
+    """
+    n = shares.size
+    if n == 0:  # pragma: no cover - defensive, mirrors dict fold guard
+        return -1
+    prev = np.empty(n)
+    prev[0] = _INF
+    if n > 1:
+        np.minimum.accumulate(shares[:-1], out=prev[1:])
+    best = _INF
+    pick = -1
+    for i in np.flatnonzero(shares < prev):
+        share = shares[i]
+        if share < best - _SHARE_SLACK:
+            best = share
+            pick = int(i)
+    return pick
+
+
+class FlowKernel:
+    """Columnar store for flow and resource hot state.
+
+    Array-index lifecycle: :meth:`attach` hands out monotonically
+    increasing slots (never reused), :meth:`detach` tombstones a slot
+    (``alive[slot] = False``) after folding the flow's transferred bytes
+    into its resources' base counters, and when the arrays fill up while
+    at least half the slots are dead, :meth:`_compact_slots` renumbers
+    the live slots order-preservingly (so ascending-slot iteration keeps
+    meaning registration order) and notifies ``on_remap`` listeners.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        cap = max(16, int(capacity))
+        self.remaining = np.zeros(cap)
+        self.rate = np.zeros(cap)
+        self.settled_at = np.zeros(cap)
+        self.eta = np.full(cap, _INF)
+        self.eta_seq = np.zeros(cap, dtype=np.int64)
+        self.size = np.zeros(cap)
+        self.tag_id = np.zeros(cap, dtype=np.int64)
+        self.row_start = np.zeros(cap, dtype=np.int64)
+        self.row_len = np.zeros(cap, dtype=np.int64)
+        self.alive = np.zeros(cap, dtype=bool)
+        self.backed = np.zeros(cap, dtype=bool)
+        self.flows: list = [None] * cap
+        self.hi = 0
+        self.n_alive = 0
+        self.on_remap: list[Callable[[np.ndarray], None]] = []
+        self._arena = np.zeros(cap * 4, dtype=np.int64)
+        # Occurrence count of each row's resource in the flow's raw
+        # resource tuple: the dict path accounts bytes once per
+        # *occurrence* (a duplicated resource is charged twice), while
+        # rate math uses the deduplicated row.
+        self._arena_mult = np.zeros(cap * 4, dtype=np.int64)
+        self._arena_n = 0
+        # Resources (registered lazily, never unregistered).
+        self.res_capacity = np.zeros(16)
+        self.res_live = np.zeros(16, dtype=np.int64)
+        self.res_objects: list[Resource] = []
+        self._res_members: list[np.ndarray] = []
+        self._res_members_mult: list[np.ndarray] = []
+        self._res_members_n: list[int] = []
+        self._res_dead: list[int] = []
+        # Tag interning for per-tag byte attribution.
+        self._tag_names: list[str] = []
+        self._tag_index: dict[str, int] = {}
+        self._next_eta_seq = 0
+
+    # -- resources ----------------------------------------------------------
+
+    def register_resource(self, res: Resource) -> int:
+        """Bind ``res`` to this kernel (idempotent) and return its slot."""
+        if res._kernel is self:
+            return res._kslot
+        if res._kernel is not None:
+            raise SimulationError(
+                f"resource {res.name!r} is already bound to another kernel"
+            )
+        slot = len(self.res_objects)
+        if slot == len(self.res_capacity):
+            self.res_capacity = _grown(self.res_capacity, slot * 2)
+            self.res_live = _grown(self.res_live, slot * 2)
+        self.res_capacity[slot] = res.capacity
+        self.res_objects.append(res)
+        self._res_members.append(np.zeros(8, dtype=np.int64))
+        self._res_members_mult.append(np.zeros(8, dtype=np.int64))
+        self._res_members_n.append(0)
+        self._res_dead.append(0)
+        res._kernel = self
+        res._kslot = slot
+        return slot
+
+    def live_members(self, res_slot: int) -> np.ndarray:
+        """Live flow slots crossing the resource, in registration order."""
+        buf = self._res_members[res_slot][: self._res_members_n[res_slot]]
+        return buf[self.alive[buf]]
+
+    def resource_bytes(self, res_slot: int, base: dict[str, float]) -> dict[str, float]:
+        """Per-tag byte counters: folded base plus live in-flight progress."""
+        out = dict(base)
+        count = self._res_members_n[res_slot]
+        buf = self._res_members[res_slot][:count]
+        mask = self.alive[buf]
+        members = buf[mask]
+        if members.size:
+            mult = self._res_members_mult[res_slot][:count][mask]
+            transferred = (self.size[members] - self.remaining[members]) * mult
+            sums = np.bincount(
+                self.tag_id[members],
+                weights=transferred,
+                minlength=len(self._tag_names),
+            )
+            for tid in np.flatnonzero(sums):
+                name = self._tag_names[tid]
+                out[name] = out.get(name, 0.0) + float(sums[tid])
+        return out
+
+    def _compact_members(self, res_slot: int) -> None:
+        count = self._res_members_n[res_slot]
+        buf = self._res_members[res_slot][:count]
+        mask = self.alive[buf]
+        live = buf[mask]
+        mult = self._res_members_mult[res_slot][:count][mask]
+        new_buf = np.zeros(max(8, 2 * live.size), dtype=np.int64)
+        new_mult = np.zeros(max(8, 2 * live.size), dtype=np.int64)
+        new_buf[: live.size] = live
+        new_mult[: live.size] = mult
+        self._res_members[res_slot] = new_buf
+        self._res_members_mult[res_slot] = new_mult
+        self._res_members_n[res_slot] = int(live.size)
+        self._res_dead[res_slot] = 0
+
+    # -- flow slots ---------------------------------------------------------
+
+    def _tag(self, tag: str) -> int:
+        tid = self._tag_index.get(tag)
+        if tid is None:
+            tid = len(self._tag_names)
+            self._tag_index[tag] = tid
+            self._tag_names.append(tag)
+        return tid
+
+    def attach(self, flow: AllocatableFlow) -> int:
+        """Register ``flow`` and return its slot.
+
+        The flow's resource tuple is deduplicated into the CSR row (with
+        per-resource occurrence counts kept for byte accounting). The
+        flow's current hot values are copied into the arrays; if the
+        flow object supports it (``Flow`` does), it is then *backed* by
+        the kernel — its ``remaining``/``rate``/ETA properties read and
+        write the arrays directly from here until :meth:`detach`.
+        """
+        if self.hi == len(self.alive):
+            self._grow_or_compact()
+        slot = self.hi
+        self.hi += 1
+        occurrences: dict[Resource, int] = {}
+        for res in flow.resources:
+            occurrences[res] = occurrences.get(res, 0) + 1
+        row = np.fromiter(
+            (self.register_resource(res) for res in occurrences),
+            dtype=np.int64,
+            count=len(occurrences),
+        )
+        mult = np.fromiter(
+            occurrences.values(), dtype=np.int64, count=len(occurrences)
+        )
+        need = self._arena_n + row.size
+        if need > len(self._arena):
+            self._arena = _grown(self._arena, max(need, 2 * len(self._arena)))
+            self._arena_mult = _grown(self._arena_mult, len(self._arena))
+        self._arena[self._arena_n : need] = row
+        self._arena_mult[self._arena_n : need] = mult
+        self.row_start[slot] = self._arena_n
+        self.row_len[slot] = row.size
+        self._arena_n = need
+        self.remaining[slot] = getattr(flow, "remaining", 0.0)
+        self.rate[slot] = flow.rate
+        self.settled_at[slot] = getattr(flow, "_settled_at", 0.0)
+        eta = getattr(flow, "_eta", None)
+        self.eta[slot] = _INF if eta is None else eta
+        self.eta_seq[slot] = 0
+        self.size[slot] = getattr(flow, "size", 0.0)
+        self.tag_id[slot] = self._tag(getattr(flow, "tag", "default"))
+        self.alive[slot] = True
+        self.flows[slot] = flow
+        self.n_alive += 1
+        for res_slot, res_mult in zip(row, mult):
+            res_slot = int(res_slot)
+            buf = self._res_members[res_slot]
+            n = self._res_members_n[res_slot]
+            if n == len(buf):
+                self._res_members[res_slot] = buf = _grown(buf, max(8, 2 * n))
+                self._res_members_mult[res_slot] = _grown(
+                    self._res_members_mult[res_slot], len(buf)
+                )
+            buf[n] = slot
+            self._res_members_mult[res_slot][n] = res_mult
+            self._res_members_n[res_slot] = n + 1
+            self.res_live[res_slot] += 1
+        try:
+            flow._kernel = self
+            flow._slot = slot
+            self.backed[slot] = True
+        except AttributeError:
+            self.backed[slot] = False
+        return slot
+
+    def detach(self, slot: int) -> None:
+        """Tombstone ``slot``: fold its transferred bytes into the base
+        counters of its resources and (for backed flows) copy the hot
+        values back onto the object."""
+        if not self.alive[slot]:
+            return
+        flow = self.flows[slot]
+        transferred = float(self.size[slot] - self.remaining[slot])
+        if self.backed[slot]:
+            flow._kernel = None
+            flow._slot = -1
+            flow._rem_v = float(self.remaining[slot])
+            flow._rate_v = float(self.rate[slot])
+            flow._settled_v = float(self.settled_at[slot])
+            eta = float(self.eta[slot])
+            flow._eta_v = None if eta == _INF else eta
+        start = int(self.row_start[slot])
+        stop = start + int(self.row_len[slot])
+        row = self._arena[start:stop]
+        if transferred > 0.0:
+            tag = self._tag_names[int(self.tag_id[slot])]
+            for res_slot, res_mult in zip(row, self._arena_mult[start:stop]):
+                self.res_objects[int(res_slot)]._bytes[tag] += transferred * int(
+                    res_mult
+                )
+        self.alive[slot] = False
+        self.flows[slot] = None
+        self.n_alive -= 1
+        for res_slot in row:
+            res_slot = int(res_slot)
+            self.res_live[res_slot] -= 1
+            dead = self._res_dead[res_slot] + 1
+            self._res_dead[res_slot] = dead
+            if dead > 32 and dead > self.res_live[res_slot]:
+                self._compact_members(res_slot)
+
+    def _grow_or_compact(self) -> None:
+        cap = len(self.alive)
+        if 2 * self.n_alive <= cap and self.hi - self.n_alive >= 32:
+            self._compact_slots()
+        else:
+            new_cap = 2 * cap
+            for name in (
+                "remaining",
+                "rate",
+                "settled_at",
+                "eta_seq",
+                "size",
+                "tag_id",
+                "row_start",
+                "row_len",
+                "alive",
+                "backed",
+            ):
+                setattr(self, name, _grown(getattr(self, name), new_cap))
+            eta = np.full(new_cap, _INF)
+            eta[:cap] = self.eta
+            self.eta = eta
+            self.flows.extend([None] * cap)
+
+    def _compact_slots(self) -> None:
+        """Order-preserving reclamation of dead slots.
+
+        Live slots are renumbered 0..n-1 in ascending (registration)
+        order, so every ordering invariant survives; member buffers and
+        the CSR arena are rewritten, backed flows get their ``_slot``
+        updated, and ``on_remap`` listeners (the allocator's slot map)
+        receive the old→new mapping (-1 for dead slots).
+        """
+        live = np.flatnonzero(self.alive[: self.hi])
+        remap = np.full(self.hi, -1, dtype=np.int64)
+        remap[live] = np.arange(live.size, dtype=np.int64)
+        lens = self.row_len[live].copy()
+        flat = _gather(self._arena, self.row_start[live], lens)
+        flat_mult = _gather(self._arena_mult, self.row_start[live], lens)
+        for name in (
+            "remaining",
+            "rate",
+            "settled_at",
+            "eta",
+            "eta_seq",
+            "size",
+            "tag_id",
+        ):
+            arr = getattr(self, name)
+            arr[: live.size] = arr[live]
+        self.row_len[: live.size] = lens
+        self.row_start[: live.size] = np.cumsum(lens) - lens
+        self._arena[: flat.size] = flat
+        self._arena_mult[: flat.size] = flat_mult
+        self._arena_n = int(flat.size)
+        new_flows = [self.flows[int(s)] for s in live]
+        for i, flow in enumerate(new_flows):
+            self.flows[i] = flow
+            if self.backed[int(live[i])]:
+                flow._slot = i
+        for i in range(live.size, self.hi):
+            self.flows[i] = None
+        self.backed[: live.size] = self.backed[live]
+        self.alive[: live.size] = True
+        self.alive[live.size : self.hi] = False
+        self.hi = int(live.size)
+        for res_slot in range(len(self.res_objects)):
+            count = self._res_members_n[res_slot]
+            buf = self._res_members[res_slot][:count]
+            mapped = remap[buf]
+            keep = mapped >= 0
+            mapped = mapped[keep]
+            mult = self._res_members_mult[res_slot][:count][keep]
+            new_buf = np.zeros(max(8, 2 * mapped.size), dtype=np.int64)
+            new_mult = np.zeros(max(8, 2 * mapped.size), dtype=np.int64)
+            new_buf[: mapped.size] = mapped
+            new_mult[: mapped.size] = mult
+            self._res_members[res_slot] = new_buf
+            self._res_members_mult[res_slot] = new_mult
+            self._res_members_n[res_slot] = int(mapped.size)
+            self._res_dead[res_slot] = 0
+        for listener in self.on_remap:
+            listener(remap)
+
+    def gather_rows(self, slots: np.ndarray) -> np.ndarray:
+        """Concatenated resource rows of ``slots`` (flow-major order)."""
+        return _gather(self._arena, self.row_start[slots], self.row_len[slots])
+
+    # -- batch hot-path operations ------------------------------------------
+
+    def settle(self, slots: np.ndarray, now: float) -> None:
+        """Advance ``slots`` to ``now`` at their current rates (batch).
+
+        Elementwise identical to ``FlowScheduler._settle_flow``: clamp
+        non-positive dt to a stamp refresh, otherwise subtract
+        ``min(remaining, rate * dt)``.
+        """
+        if slots.size == 0:
+            return
+        dt = now - self.settled_at[slots]
+        self.settled_at[slots] = now
+        pos = dt > 0.0
+        if not pos.any():
+            return
+        moving = slots[pos]
+        delta = np.minimum(self.remaining[moving], self.rate[moving] * dt[pos])
+        self.remaining[moving] -= delta
+
+    def min_eta(self) -> float:
+        """Smallest live ETA (inf when no attached flow has one)."""
+        if self.n_alive == 0 or self.hi == 0:
+            return _INF
+        return float(
+            np.min(np.where(self.alive[: self.hi], self.eta[: self.hi], _INF))
+        )
+
+    def due_slots(self, cutoff: float) -> np.ndarray:
+        """Live slots with ``eta <= cutoff``, in heap pop order.
+
+        The dict path pops its completion heap by ``(eta, push-seq)``;
+        lexsorting the due set by ``(eta, eta_seq)`` reproduces that
+        order exactly, because a slot's ``eta_seq`` is bumped precisely
+        when the dict path would push a fresh heap entry.
+        """
+        if self.hi == 0:
+            return _EMPTY_SLOTS
+        mask = self.alive[: self.hi] & (self.eta[: self.hi] <= cutoff)
+        due = np.flatnonzero(mask)
+        if due.size > 1:
+            due = due[np.lexsort((self.eta_seq[due], self.eta[due]))]
+        return due
+
+    def next_eta_seqs(self, count: int) -> np.ndarray:
+        """Reserve ``count`` fresh ETA sequence numbers (monotonic)."""
+        start = self._next_eta_seq
+        self._next_eta_seq = start + count
+        return np.arange(start, start + count, dtype=np.int64)
+
+
+class ColumnarRateAllocator:
+    """Incremental max-min allocator over a :class:`FlowKernel`.
+
+    Implements the :class:`repro.sim.allocator.RateAllocator` protocol
+    (``add_flow``/``remove_flow``/``mark_dirty``/``recompute``) with
+    vectorised component discovery and progressive filling, producing
+    byte-identical rates in the identical order. Works with arbitrary
+    ``AllocatableFlow`` objects: flows that cannot be kernel-backed
+    (e.g. test stubs) get their ``rate`` attribute written back after
+    each recompute — but their rate must then only be mutated through
+    this allocator, since the kernel's copy is authoritative.
+    """
+
+    def __init__(self, kernel: FlowKernel | None = None) -> None:
+        self.kernel = kernel if kernel is not None else FlowKernel()
+        self._slot_of: dict[AllocatableFlow, int] = {}
+        self._dirty: dict[Resource, None] = {}
+        self._all_dirty = False
+        self._fresh_slots: list[int] = []
+        self.kernel.on_remap.append(self._apply_remap)
+
+    def _apply_remap(self, remap: np.ndarray) -> None:
+        self._slot_of = {
+            flow: int(remap[slot]) for flow, slot in self._slot_of.items()
+        }
+        self._fresh_slots = [
+            int(remap[slot]) for slot in self._fresh_slots if remap[slot] >= 0
+        ]
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def flows(self) -> KeysView[AllocatableFlow]:
+        """The registered (active) flows."""
+        return self._slot_of.keys()
+
+    def add_flow(self, flow: AllocatableFlow) -> None:
+        """Register ``flow``; its resources become dirty."""
+        if flow in self._slot_of:
+            return
+        unique = _unique_resources(flow)
+        slot = self.kernel.attach(flow)
+        self._slot_of[flow] = slot
+        self._fresh_slots.append(slot)
+        for res in unique:
+            self._dirty[res] = None
+
+    def remove_flow(self, flow: AllocatableFlow) -> None:
+        """Unregister ``flow`` (completed or cancelled); resources dirty."""
+        slot = self._slot_of.pop(flow, None)
+        if slot is None:
+            return
+        kernel = self.kernel
+        start = int(kernel.row_start[slot])
+        row = kernel._arena[start : start + int(kernel.row_len[slot])]
+        for res_slot in row:
+            self._dirty[kernel.res_objects[int(res_slot)]] = None
+        kernel.detach(slot)
+
+    def mark_dirty(self, *resources: Resource) -> None:
+        """Mark capacity-changed resources; no arguments marks everything."""
+        if not resources:
+            self._all_dirty = True
+        else:
+            self._dirty.update(dict.fromkeys(resources))
+
+    def recompute(
+        self, on_touch: Callable[[AllocatableFlow], None] | None = None
+    ) -> list[AllocatableFlow]:
+        """RateAllocator-protocol recompute returning changed flow objects."""
+        kernel = self.kernel
+        presettle = None
+        if on_touch is not None:
+
+            def presettle(slots):
+                for slot in slots:
+                    on_touch(kernel.flows[int(slot)])
+
+        changed = self.recompute_slots(presettle)
+        out = []
+        for slot in changed:
+            slot = int(slot)
+            flow = kernel.flows[slot]
+            if not kernel.backed[slot]:
+                flow.rate = float(kernel.rate[slot])
+            out.append(flow)
+        return out
+
+    def recompute_slots(
+        self, presettle: Callable[[np.ndarray], None] | None = None
+    ) -> np.ndarray:
+        """Re-rate the dirty component; return changed slots in rate order.
+
+        ``presettle`` (if given) receives the changed slots *before*
+        their new rates land, mirroring the dict path's ``on_touch``.
+        """
+        kernel = self.kernel
+        comp = self._component()
+        self._dirty.clear()
+        self._all_dirty = False
+        self._fresh_slots = []
+        if comp.size == 0:
+            return _EMPTY_SLOTS
+        if comp.size == 1:
+            # Single-flow fast path: rate is the tightest capacity.
+            slot = int(comp[0])
+            start = int(kernel.row_start[slot])
+            length = int(kernel.row_len[slot])
+            if length:
+                rate = float(
+                    kernel.res_capacity[kernel._arena[start : start + length]].min()
+                )
+            else:
+                rate = _INF
+            if rate != kernel.rate[slot]:
+                if presettle is not None:
+                    presettle(comp)
+                kernel.rate[slot] = rate
+                return comp
+            return _EMPTY_SLOTS
+        rates, order = self._fill(comp)
+        moved = order[rates[order] != kernel.rate[comp[order]]]
+        changed = comp[moved]
+        if changed.size:
+            if presettle is not None:
+                presettle(changed)
+            kernel.rate[changed] = rates[moved]
+        return changed
+
+    def _component(self) -> np.ndarray:
+        """Flow slots reachable from the dirty resources, discovery order.
+
+        Replicates the dict path's DFS exactly: LIFO resource stack
+        seeded in dirty-insertion order, members visited in registration
+        order, each new flow's resources pushed immediately (filtered by
+        the visited set as of the push, which only mutates at pops).
+        """
+        kernel = self.kernel
+        if self._all_dirty:
+            if not self._slot_of:
+                return _EMPTY_SLOTS
+            return np.fromiter(
+                self._slot_of.values(), dtype=np.int64, count=len(self._slot_of)
+            )
+        parts: list[np.ndarray] = []
+        in_comp = np.zeros(kernel.hi, dtype=bool)
+        visited = np.zeros(len(kernel.res_objects), dtype=bool)
+        stack: list[int] = [
+            res._kslot
+            for res in self._dirty
+            if res._kernel is kernel and kernel.res_live[res._kslot] > 0
+        ]
+        while stack:
+            res_slot = stack.pop()
+            if visited[res_slot]:
+                continue
+            visited[res_slot] = True
+            members = kernel.live_members(res_slot)
+            new = members[~in_comp[members]]
+            if new.size:
+                in_comp[new] = True
+                parts.append(new)
+                rows = kernel.gather_rows(new)
+                stack.extend(int(r) for r in rows[~visited[rows]])
+        if self._fresh_slots:
+            # Resource-less fresh flows sit in no member buffer; they
+            # still need their (unbounded) rate assigned once.
+            extra = [
+                slot
+                for slot in self._fresh_slots
+                if kernel.alive[slot] and kernel.row_len[slot] == 0
+            ]
+            if extra:
+                parts.append(np.asarray(extra, dtype=np.int64))
+        if not parts:
+            return _EMPTY_SLOTS
+        return np.concatenate(parts)
+
+    def _fill(self, comp: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised progressive fill over component ``comp``.
+
+        Returns ``(rates, order)``: per-comp-index rates plus the
+        comp-local indices in the order the dict path would insert them
+        into its rates dict (resource-less flows first, then each freeze
+        round) — the order changed-rate flows are reported in.
+        """
+        kernel = self.kernel
+        n_flows = comp.size
+        lens = kernel.row_len[comp]
+        flat = kernel.gather_rows(comp)
+        rates = np.empty(n_flows)
+        zero_res = lens == 0
+        rates[zero_res] = _INF
+        order_parts: list[np.ndarray] = [np.flatnonzero(zero_res)]
+        if flat.size:
+            # Local resource ids in first-appearance order == the order
+            # the dict path inserts resources into its ``users`` dict.
+            uniq, first_pos, inverse = np.unique(
+                flat, return_index=True, return_inverse=True
+            )
+            n_res = uniq.size
+            rank_order = np.argsort(first_pos, kind="stable")
+            lid_of_rank = np.empty(n_res, dtype=np.int64)
+            lid_of_rank[rank_order] = np.arange(n_res, dtype=np.int64)
+            flat_local = lid_of_rank[inverse]
+            remaining = kernel.res_capacity[uniq[rank_order]].copy()
+            counts = np.bincount(flat_local, minlength=n_res)
+            res_alive = np.ones(n_res, dtype=bool)
+            flow_of_pos = np.repeat(np.arange(n_flows, dtype=np.int64), lens)
+            indptr = np.zeros(n_flows + 1, dtype=np.int64)
+            np.cumsum(lens, out=indptr[1:])
+            # Transpose: per-resource member lists in comp (discovery)
+            # order — matching ``users[res]`` insertion order.
+            t_perm = np.argsort(flat_local, kind="stable")
+            t_flow = flow_of_pos[t_perm]
+            t_indptr = np.zeros(n_res + 1, dtype=np.int64)
+            np.cumsum(np.bincount(flat_local, minlength=n_res), out=t_indptr[1:])
+            unfixed = ~zero_res
+            n_unfixed = int(unfixed.sum())
+            while n_unfixed:
+                alive_ids = np.flatnonzero(res_alive)
+                rem_alive = remaining[alive_ids]
+                shares = np.where(
+                    rem_alive > 0.0, rem_alive / counts[alive_ids], 0.0
+                )
+                pick = _fold_argmin(shares)
+                if pick < 0:  # pragma: no cover - defensive; every
+                    # unfixed flow sits in a live member list.
+                    left = np.flatnonzero(unfixed)
+                    rates[left] = _INF
+                    order_parts.append(left)
+                    break
+                bottleneck = int(alive_ids[pick])
+                best_share = float(shares[pick])
+                members = t_flow[t_indptr[bottleneck] : t_indptr[bottleneck + 1]]
+                frozen = members[unfixed[members]]
+                rates[frozen] = best_share
+                unfixed[frozen] = False
+                n_unfixed -= int(frozen.size)
+                order_parts.append(frozen)
+                res_alive[bottleneck] = False
+                frozen_rows = _gather(flat_local, indptr[frozen], lens[frozen])
+                removed = np.bincount(frozen_rows, minlength=n_res)
+                removed[bottleneck] = 0
+                touched = res_alive & (removed > 0)
+                counts[touched] -= removed[touched]
+                remaining[touched] -= best_share * removed[touched]
+                res_alive[touched & (counts == 0)] = False
+        order = (
+            np.concatenate(order_parts) if len(order_parts) > 1 else order_parts[0]
+        )
+        return rates, order
+
+
+class ColumnarFlowScheduler(FlowScheduler):
+    """FlowScheduler whose hot path runs on :class:`FlowKernel` arrays.
+
+    Drop-in replacement: same public surface, byte-identical completion
+    times, rates and same-instant completion ordering as the dict-backed
+    scheduler (enforced by the equivalence battery). Settle, re-rate and
+    ETA-index maintenance are batch numpy operations; each completion
+    event drains *all* due flows in one vectorised pass. The remaining
+    per-flow Python work — one attach, one detach, one completion
+    callback per flow lifetime — is what ``py_flow_ops`` counts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        allocator: ColumnarRateAllocator | None = None,
+        kernel: FlowKernel | None = None,
+    ) -> None:
+        if allocator is None:
+            allocator = ColumnarRateAllocator(kernel)
+        elif kernel is not None and allocator.kernel is not kernel:
+            raise SimulationError("allocator is bound to a different kernel")
+        super().__init__(sim, allocator)
+        self.kernel: FlowKernel = allocator.kernel
+
+    # -- overrides: per-flow ops become batch kernel ops --------------------
+
+    def settle_now(self) -> None:
+        """Flush in-flight progress (one vectorised settle of all slots)."""
+        kernel = self.kernel
+        if kernel.hi:
+            kernel.settle(np.flatnonzero(kernel.alive[: kernel.hi]), self.sim.now)
+
+    def _settle_flow(self, flow: Flow) -> None:
+        self.py_flow_ops += 1
+        if flow._kernel is self.kernel:
+            self.kernel.settle(
+                np.array([flow._slot], dtype=np.int64), self.sim.now
+            )
+
+    def _do_recompute(self) -> None:
+        self._recompute_event = None
+        registry = get_registry()
+        wall_start = time.perf_counter() if registry.enabled else 0.0
+        kernel = self.kernel
+        now = self.sim.now
+
+        def presettle(slots: np.ndarray) -> None:
+            kernel.settle(slots, now)
+
+        changed = self.allocator.recompute_slots(presettle)
+        if changed.size:
+            rate = kernel.rate[changed]
+            positive = rate > 0.0
+            moving = changed[positive]
+            if moving.size:
+                eta_new = now + kernel.remaining[moving] / kernel.rate[moving]
+                old = kernel.eta[moving]
+                fresh = ~((old != _INF) & (np.abs(eta_new - old) <= _EPSILON_TIME))
+                stamped = moving[fresh]
+                if stamped.size:
+                    kernel.eta[stamped] = eta_new[fresh]
+                    kernel.eta_seq[stamped] = kernel.next_eta_seqs(
+                        int(stamped.size)
+                    )
+            kernel.eta[changed[~positive]] = _INF
+        touched = int(changed.size)
+        if registry.enabled:
+            registry.counter("alloc.passes").inc()
+            registry.counter("alloc.flows_touched").inc(touched)
+            registry.histogram("alloc.component_size").observe(touched)
+            registry.histogram("alloc.duration_s").observe(
+                time.perf_counter() - wall_start
+            )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "flows.rebalanced",
+                track="flows",
+                active=len(self.active),
+                touched=touched,
+            )
+        self._sync_completion_event()
+
+    def _earliest_eta(self) -> float | None:
+        earliest = self.kernel.min_eta()
+        return None if earliest == _INF else earliest
+
+    def _on_completion_event(self) -> None:
+        self._completion_event = None
+        now = self.sim.now
+        kernel = self.kernel
+        due = kernel.due_slots(now + _EPSILON_TIME)
+        finished: list[Flow] = []
+        if due.size:
+            kernel.settle(due, now)
+            remaining = kernel.remaining[due]
+            rate = kernel.rate[due]
+            done = (remaining <= _EPSILON_BYTES) | (
+                (rate > 0.0) & (remaining <= rate * _EPSILON_TIME)
+            )
+            drifting = due[~done & (rate > 0.0)]
+            if drifting.size:
+                # Float drift left unfinished bytes; re-index the flows.
+                kernel.eta[drifting] = (
+                    now + kernel.remaining[drifting] / kernel.rate[drifting]
+                )
+                kernel.eta_seq[drifting] = kernel.next_eta_seqs(int(drifting.size))
+            stalled = due[~done & (rate <= 0.0)]
+            if stalled.size:  # pragma: no cover - defensive; a due entry
+                # implies the rate it was computed with is still in force.
+                kernel.eta[stalled] = _INF
+            finished = [kernel.flows[int(slot)] for slot in due[done]]
+        for flow in finished:
+            self.py_flow_ops += 1
+            self.active.pop(flow, None)
+            self.allocator.remove_flow(flow)
+            flow._eta = None
+        for flow in finished:
+            self.py_flow_ops += 1
+            self._complete_flow(flow)
+        if finished:
+            self._request_recompute()
+        self._sync_completion_event()

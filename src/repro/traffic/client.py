@@ -9,7 +9,7 @@ import numpy as np
 from repro.cluster.node import MB, Node
 from repro.cluster.topology import Cluster
 from repro.errors import SimulationError
-from repro.events import HookEmitter, deprecated_callback
+from repro.events import HookEmitter
 from repro.metrics.latency import LatencyRecorder
 from repro.traffic.router import KeyRouter
 from repro.traffic.traces import TraceGenerator
@@ -47,7 +47,6 @@ class TraceClient(HookEmitter):
         burst_on: float = 0.0,
         burst_off: float = 0.0,
         key_offset: int = 0,
-        on_done: Callable[["TraceClient"], None] | None = None,
     ) -> None:
         if num_requests is not None and num_requests < 0:
             raise SimulationError("num_requests cannot be negative")
@@ -75,7 +74,6 @@ class TraceClient(HookEmitter):
         # Shifts this client's hot key set so concurrent clients hammer
         # different nodes (spatial skew that moves as bursts alternate).
         self.key_offset = key_offset
-        deprecated_callback(self, "on_done", "done", on_done)
         self._active_slots = 0
         self._bursting = True
         self._parked_slots = 0

@@ -6,12 +6,19 @@ randomized sequence — flow arrivals, flow departures, and capacity
 changes — across hundreds of seeds. A second battery drives two complete
 :class:`FlowScheduler` simulations (one per allocator) through the same
 random scenario and compares completion times.
+
+The columnar kernel carries a stronger contract: twin batteries below
+hold :class:`ColumnarRateAllocator` and :class:`ColumnarFlowScheduler`
+to *exact* (``==``, not approx) equality against the dict path — same
+mutation stream, bit-identical rates and completion timelines.
 """
 
 import numpy as np
 import pytest
 
 from repro.sim import (
+    ColumnarFlowScheduler,
+    ColumnarRateAllocator,
     Flow,
     FlowScheduler,
     FromScratchAllocator,
@@ -84,11 +91,77 @@ def test_incremental_matches_from_scratch(seed):
             flow.rate = incremental[flow]  # restore for the next round
 
 
-def _run_scenario(seed, allocator):
-    """One random flow workload on a FlowScheduler; returns completions."""
+def _twin_mutation(rng, d_alloc, c_alloc, d_live, c_live, resources, next_id):
+    """Apply one random mutation identically to the dict and columnar sides.
+
+    Twin StubFlows (one per allocator) share the same Resource objects:
+    the dict allocator ignores kernel bindings and the columnar kernel's
+    capacity mirror keeps ``set_capacity`` visible to both.
+    """
+    roll = rng.random()
+    if roll < 0.5 or not d_live:
+        count = int(rng.integers(0, 4))
+        picks = rng.integers(0, len(resources), count)
+        chosen = tuple(resources[int(i)] for i in picks)
+        d_flow = StubFlow(f"f{next_id}", chosen)
+        c_flow = StubFlow(f"f{next_id}", chosen)
+        d_live.append(d_flow)
+        c_live.append(c_flow)
+        d_alloc.add_flow(d_flow)
+        c_alloc.add_flow(c_flow)
+        return next_id + 1
+    if roll < 0.8:
+        idx = int(rng.integers(0, len(d_live)))
+        d_alloc.remove_flow(d_live.pop(idx))
+        c_alloc.remove_flow(c_live.pop(idx))
+        return next_id
+    res = resources[int(rng.integers(0, len(resources)))]
+    res.set_capacity(float(rng.integers(1, 1000)))
+    d_alloc.mark_dirty(res)
+    c_alloc.mark_dirty(res)
+    return next_id
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_columnar_matches_dict_bit_for_bit(seed):
+    """The numpy kernel reproduces the dict allocator *exactly*.
+
+    After every mutation both sides recompute; the changed-flow lists
+    must match name-for-name and every live rate must be ``==`` — no
+    tolerance — across all 220 seeds. This is the gate that lets the
+    columnar path replace the dict path without perturbing a single
+    published number.
+    """
+    rng = np.random.default_rng(seed)
+    resources = [
+        Resource(f"r{i}", float(rng.integers(10, 1000)))
+        for i in range(int(rng.integers(2, 8)))
+    ]
+    d_alloc = RateAllocator()
+    c_alloc = ColumnarRateAllocator()
+    d_live, c_live = [], []
+    next_id = 0
+    for _ in range(MUTATIONS_PER_SEED):
+        next_id = _twin_mutation(
+            rng, d_alloc, c_alloc, d_live, c_live, resources, next_id
+        )
+        d_changed = d_alloc.recompute()
+        c_changed = c_alloc.recompute()
+        assert [f.name for f in d_changed] == [f.name for f in c_changed], (
+            f"seed={seed}: touched flows diverge"
+        )
+        for d, c in zip(d_live, c_live):
+            assert d.rate == c.rate, (
+                f"seed={seed} flow={d.name}: dict={d.rate!r} columnar={c.rate!r}"
+            )
+
+
+def _run_scenario(seed, make_scheduler):
+    """One random flow workload on a scheduler; returns completions and
+    final per-resource byte totals."""
     rng = np.random.default_rng(seed)
     sim = Simulator()
-    sched = FlowScheduler(sim, allocator=allocator)
+    sched = make_scheduler(sim)
     resources = [Resource(f"r{i}", float(rng.integers(50, 500))) for i in range(5)]
     flows = []
     for i in range(25):
@@ -110,14 +183,21 @@ def _run_scenario(seed, allocator):
     sim.schedule(3.0, lambda: (throttled.set_capacity(30.0),
                                sched.capacity_changed(throttled)))
     sim.run()
-    return [(f.name, f.cancelled, f.completed_at) for f in flows]
+    return (
+        [(f.name, f.cancelled, f.completed_at) for f in flows],
+        [(r.name, r.total_bytes) for r in resources],
+    )
 
 
 @pytest.mark.parametrize("seed", range(30))
 def test_scheduler_end_to_end_equivalence(seed):
     """Identical completion timelines under both allocators."""
-    fast = _run_scenario(seed, RateAllocator())
-    oracle = _run_scenario(seed, FromScratchAllocator())
+    fast, _ = _run_scenario(
+        seed, lambda sim: FlowScheduler(sim, allocator=RateAllocator())
+    )
+    oracle, _ = _run_scenario(
+        seed, lambda sim: FlowScheduler(sim, allocator=FromScratchAllocator())
+    )
     for (name, cancelled, done_at), (oname, ocancelled, odone_at) in zip(fast, oracle):
         assert name == oname
         assert cancelled == ocancelled
@@ -125,6 +205,28 @@ def test_scheduler_end_to_end_equivalence(seed):
             assert done_at is None
         else:
             assert done_at == pytest.approx(odone_at, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_columnar_scheduler_end_to_end_exact(seed):
+    """ColumnarFlowScheduler replays the dict scheduler bit-for-bit.
+
+    The full (name, cancelled, completed_at) timeline must be *exactly*
+    equal — completion instants included — and per-resource byte totals
+    agree to float accumulation-order noise (the columnar fold sums in a
+    different order, so bytes get an ulp-level tolerance while times,
+    which both paths derive from the same rate arithmetic, get none).
+    """
+    dict_flows, dict_bytes = _run_scenario(
+        seed, lambda sim: FlowScheduler(sim, allocator=RateAllocator())
+    )
+    col_flows, col_bytes = _run_scenario(
+        seed, lambda sim: ColumnarFlowScheduler(sim)
+    )
+    assert dict_flows == col_flows
+    for (name, d_total), (cname, c_total) in zip(dict_bytes, col_bytes):
+        assert name == cname
+        assert d_total == pytest.approx(c_total, rel=1e-9, abs=1e-6)
 
 
 def test_remove_unknown_flow_is_noop():

@@ -1,5 +1,5 @@
-"""The repro.api facade: TestbedBuilder normalization, Testbed parity with
-the legacy Scenario, asymmetric disk bandwidth, and the stable re-exports."""
+"""The repro.api facade: TestbedBuilder normalization, the deprecated
+Scenario shim, asymmetric disk bandwidth, and the stable re-exports."""
 
 import pytest
 
@@ -22,14 +22,27 @@ class TestNormalization:
             ("lrc-12-2-2", "LRC(12,2,2)"),
             ("butterfly-4-2", "Butterfly(4,2)"),
             ("RS(6,3)", "RS(6,3)"),  # canonical specs pass through
+            ("rs(6,3)", "RS(6,3)"),  # registry form is case-normalized
+            ("RS(6, 3)", "RS(6,3)"),  # whitespace tolerated
         ],
     )
     def test_code_specs(self, spec, expected):
         assert _normalize_code(spec) == expected
 
-    @pytest.mark.parametrize("bad", ["paritycheck-6-3", "rs", "rs-a-b"])
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "paritycheck-6-3",
+            "rs",
+            "rs-a-b",
+            "XOR(6,3)",  # unknown family in registry form
+            "RS(6,)",  # malformed parameter list
+            "RS(a,b)",  # non-numeric parameters
+            "",
+        ],
+    )
     def test_bad_code_spec_rejected(self, bad):
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError, match="valid forms"):
             _normalize_code(bad)
 
     @pytest.mark.parametrize(
@@ -46,7 +59,7 @@ class TestNormalization:
         assert _normalize_trace(slug) == expected
 
     def test_unknown_trace_rejected(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(ReproError, match="valid traces"):
             _normalize_trace("zipf-99")
 
 
@@ -89,14 +102,29 @@ class TestBuilder:
         assert isinstance(Testbed.builder(), TestbedBuilder)
 
 
-class TestScenarioParity:
+class TestScenarioShim:
+    def test_scenario_is_a_deprecated_testbed(self):
+        """The legacy entry point still works — as a Testbed — but warns."""
+        config = ExperimentConfig.scaled(0.05, seed=3)
+        with pytest.warns(DeprecationWarning, match="Testbed"):
+            legacy = Scenario(config)
+        assert isinstance(legacy, Testbed)
+
+    def test_lazy_package_attribute_warns_only_at_construction(self):
+        import repro.experiments
+
+        cls = repro.experiments.Scenario  # import itself must not warn
+        config = ExperimentConfig.scaled(0.05, seed=3)
+        with pytest.warns(DeprecationWarning):
+            cls(config)
+
     def test_fault_free_run_matches_legacy_scenario(self):
-        """Routing an experiment through the facade must not change the
+        """Routing an experiment through the shim must not change the
         physics: same config, same algorithm, same repair time."""
         config = ExperimentConfig.scaled(0.05, seed=3)
-        legacy = run_repair_experiment(
-            config, "CR", scenario=Scenario(config)
-        )
+        with pytest.warns(DeprecationWarning):
+            shimmed = Scenario(config)
+        legacy = run_repair_experiment(config, "CR", scenario=shimmed)
         faceted = run_repair_experiment(
             config, "CR", scenario=Testbed.build(config)
         )

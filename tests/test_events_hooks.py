@@ -1,11 +1,11 @@
-"""The shared event-hook protocol and the deprecated callback shims."""
+"""The shared event-hook protocol (the sole subscription path)."""
 
 import pytest
 
 from repro.cluster import Cluster, FailureInjector, MB, mbs, place_stripes
 from repro.codes import RSCode
 from repro.core import ChameleonRepair
-from repro.events import HookEmitter, deprecated_callback
+from repro.events import HookEmitter
 from repro.monitor import BandwidthMonitor
 from repro.repair import ConventionalRepair, RepairRunner
 
@@ -89,63 +89,53 @@ class TestHookEmitter:
         assert seen == ["the-trigger"]
 
 
-class TestDeprecatedShims:
-    def test_none_registers_nothing_and_stays_silent(self, recwarn):
-        g = Gadget()
-        deprecated_callback(g, "on_ping", "ping", None)
-        assert not recwarn.list
-        g.emit("ping", g)  # nothing subscribed, nothing raised
+class TestLegacyKwargsRemoved:
+    """The deprecated ``on_all_done=``/``on_done=`` kwargs are gone; the
+    constructors reject them like any unknown keyword, and ``on()`` is
+    the replacement path."""
 
-    def test_callback_warns_and_forwards(self):
-        g = Gadget()
-        seen = []
-        with pytest.warns(DeprecationWarning, match="'on_ping' keyword"):
-            deprecated_callback(g, "on_ping", "ping", lambda e: seen.append(e))
-        g.emit("ping", g)
-        assert seen == [g]
-
-    def test_runner_on_all_done_kwarg_warns_but_works(self):
+    def test_runner_rejects_on_all_done_kwarg(self):
         cluster, store, injector = make_env()
-        done = []
-        with pytest.warns(DeprecationWarning, match="on_all_done"):
-            runner = RepairRunner(
+        with pytest.raises(TypeError, match="on_all_done"):
+            RepairRunner(
                 cluster, store, injector, ConventionalRepair(),
                 chunk_size=CHUNK, slice_size=SLICE,
-                on_all_done=lambda r: done.append(1),
+                on_all_done=lambda r: None,
             )
-        runner.repair([])
-        assert done == [1]
 
-    def test_chameleon_on_all_done_kwarg_warns_but_works(self):
+    def test_chameleon_rejects_on_all_done_kwarg(self):
         cluster, store, injector = make_env()
         monitor = BandwidthMonitor(cluster)
         monitor.start()
-        done = []
-        with pytest.warns(DeprecationWarning, match="on_all_done"):
-            coord = ChameleonRepair(
+        with pytest.raises(TypeError, match="on_all_done"):
+            ChameleonRepair(
                 cluster, store, injector, monitor,
                 chunk_size=CHUNK, slice_size=SLICE,
-                on_all_done=lambda c: done.append(1),
+                on_all_done=lambda c: None,
             )
-        coord.repair([])
-        assert done == [1]
 
-    def test_trace_client_on_done_kwarg_warns(self):
+    def test_trace_client_rejects_on_done_kwarg(self):
         from repro.traffic import KeyRouter, TraceClient, ycsb_a
 
         cluster = Cluster(num_nodes=6, num_clients=1, link_bw=mbs(100))
         store = place_stripes(RSCode(4, 2), 6, cluster.storage_ids,
                               chunk_size=CHUNK, seed=1)
         router = KeyRouter(store, cluster)
-        done = []
-        with pytest.warns(DeprecationWarning, match="on_done"):
-            client = TraceClient(
+        with pytest.raises(TypeError, match="on_done"):
+            TraceClient(
                 cluster, cluster.clients[0], ycsb_a(seed=2), router,
-                num_requests=3, on_done=lambda c: done.append(1),
+                num_requests=3, on_done=lambda c: None,
             )
-        client.start()
-        cluster.sim.run()
-        assert client.done and done == [1]
+
+    def test_on_event_is_the_replacement(self):
+        cluster, store, injector = make_env()
+        done = []
+        runner = RepairRunner(
+            cluster, store, injector, ConventionalRepair(),
+            chunk_size=CHUNK, slice_size=SLICE,
+        ).on("all_done", lambda r: done.append(1))
+        runner.repair([])
+        assert done == [1]
 
 
 class TestRepairEvents:

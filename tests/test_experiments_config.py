@@ -1,10 +1,11 @@
-"""Tests for experiment configuration and the scenario builder."""
+"""Tests for experiment configuration and the testbed it builds."""
 
 import pytest
 
 from repro.cluster import gbps, mbs
 from repro.errors import ReproError
-from repro.experiments import ALL_ALGORITHMS, ExperimentConfig, Scenario
+from repro.api import Testbed
+from repro.experiments import ALL_ALGORITHMS, ExperimentConfig
 
 
 class TestConfig:
@@ -51,9 +52,9 @@ class TestConfig:
             ExperimentConfig(num_chunks=0)
 
 
-class TestScenario:
+class TestTestbedSubstrate:
     def make(self, **overrides):
-        return Scenario(ExperimentConfig.scaled(0.03, **overrides))
+        return Testbed.build(ExperimentConfig.scaled(0.03, **overrides))
 
     def test_builds_cluster_and_store(self):
         scenario = self.make()

@@ -65,9 +65,9 @@ class TestTraceTiming:
 
 class TestRunSimUntil:
     def test_timeout_raises(self):
-        from repro.experiments.scenario import Scenario
+        from repro.api import Testbed
 
-        scenario = Scenario(tiny_config())
+        scenario = Testbed.build(tiny_config())
         with pytest.raises(ReproError):
             run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
 
@@ -76,9 +76,9 @@ class TestRunSimUntil:
         RuntimeError callers can catch generically — whose message names
         the limit, the clock, and the likely causes."""
         from repro.errors import ConvergenceError
-        from repro.experiments.scenario import Scenario
+        from repro.api import Testbed
 
-        scenario = Scenario(tiny_config())
+        scenario = Testbed.build(tiny_config())
         with pytest.raises(ConvergenceError) as excinfo:
             run_sim_until(scenario.cluster, lambda: False, step=1.0, limit=5.0)
         assert isinstance(excinfo.value, RuntimeError)

@@ -1,0 +1,119 @@
+"""The frozen ``repro`` public surface.
+
+``repro.__all__`` is the supported API. This test pins it exactly:
+adding or removing a name must be a deliberate edit here, and every
+advertised name must actually resolve. ``Testbed``/``TestbedBuilder``
+are the sole experiment facade; the deprecated ``Scenario`` never
+appears at top level.
+"""
+
+import repro
+
+FROZEN_SURFACE = (
+    "GB",
+    "KB",
+    "MB",
+    "AdmissionController",
+    "AIMDPolicy",
+    "BandwidthDegradation",
+    "BandwidthMonitor",
+    "ButterflyCode",
+    "ChameleonRepair",
+    "ChameleonRepairIO",
+    "ChunkId",
+    "Cluster",
+    "CodingError",
+    "ConventionalRepair",
+    "ConvergenceError",
+    "CoordinatorCrash",
+    "ECPipe",
+    "ErasureCode",
+    "ExperimentConfig",
+    "FailureInjector",
+    "FailureReport",
+    "FaultEvent",
+    "FaultTimeline",
+    "FlowInterruption",
+    "HookEmitter",
+    "IntegrityLedger",
+    "IntegrityRecord",
+    "Journal",
+    "JournalRecord",
+    "JournalState",
+    "KeyRouter",
+    "LRCCode",
+    "LatencyRecorder",
+    "LatentSectorError",
+    "Lease",
+    "LinkStatsCollector",
+    "Node",
+    "NodeCrash",
+    "PPR",
+    "PlanError",
+    "ProgressTracker",
+    "RecoveryPlan",
+    "ReliabilityModel",
+    "RepairBoost",
+    "RepairEquation",
+    "RepairPlan",
+    "RepairRunner",
+    "RepairThroughputMeter",
+    "ReproError",
+    "RSCode",
+    "RunTelemetry",
+    "SchedulingError",
+    "Scrubber",
+    "Series",
+    "SilentCorruption",
+    "SimulationError",
+    "Simulator",
+    "SLOBreach",
+    "SLOEvaluator",
+    "SLOReport",
+    "SLOSpec",
+    "SLOVerdict",
+    "Stripe",
+    "StripeStore",
+    "TimeseriesRecorder",
+    "Testbed",
+    "TestbedBuilder",
+    "ToleranceExceeded",
+    "TraceClient",
+    "TransientStraggler",
+    "TransitioningTrace",
+    "execute_plan",
+    "gbps",
+    "interference_degree",
+    "launch_clients",
+    "loss_probability_curve",
+    "make_code",
+    "make_trace",
+    "mbs",
+    "payload_checksum",
+    "place_stripes",
+    "reconcile",
+    "ycsb_a",
+)
+
+
+class TestFrozenSurface:
+    def test_all_matches_frozen_surface_exactly(self):
+        assert repro.__all__ == FROZEN_SURFACE
+
+    def test_all_is_immutable(self):
+        assert isinstance(repro.__all__, tuple)
+
+    def test_every_advertised_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    def test_scenario_not_in_public_surface(self):
+        assert "Scenario" not in repro.__all__
+        assert not hasattr(repro, "Scenario")
+
+    def test_facade_entry_points_present(self):
+        assert "Testbed" in repro.__all__
+        assert "TestbedBuilder" in repro.__all__

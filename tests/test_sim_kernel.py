@@ -1,0 +1,260 @@
+"""Targeted columnar-kernel unit tests.
+
+The randomized batteries in ``test_allocator_equivalence.py`` hold the
+columnar path to bit-identical behaviour over hundreds of seeds; the
+tests here pin down the specific edge cases a random walk is unlikely
+to land on — zero-byte and zero-rate flows, mid-window cancellation,
+duplicate resource membership, slot compaction under churn, the live
+byte view, and the kernel's binding errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    ColumnarFlowScheduler,
+    ColumnarRateAllocator,
+    Flow,
+    FlowKernel,
+    FlowScheduler,
+    RateAllocator,
+    Resource,
+    Simulator,
+)
+
+
+def both_schedulers():
+    """The dict reference and the columnar challenger, as factories."""
+    return [
+        ("dict", lambda sim: FlowScheduler(sim, allocator=RateAllocator())),
+        ("columnar", lambda sim: ColumnarFlowScheduler(sim)),
+    ]
+
+
+class TestKernelBinding:
+    def test_register_resource_is_idempotent(self):
+        kernel = FlowKernel()
+        res = Resource("r", 10.0)
+        slot = kernel.register_resource(res)
+        assert kernel.register_resource(res) == slot
+        assert kernel.res_objects[slot] is res
+
+    def test_resource_cannot_bind_to_two_kernels(self):
+        res = Resource("r", 10.0)
+        FlowKernel().register_resource(res)
+        with pytest.raises(SimulationError, match="already bound"):
+            FlowKernel().register_resource(res)
+
+    def test_capacity_setter_mirrors_into_kernel(self):
+        kernel = FlowKernel()
+        res = Resource("r", 10.0)
+        slot = kernel.register_resource(res)
+        res.set_capacity(42.0)
+        assert kernel.res_capacity[slot] == 42.0
+        res.capacity = 7.0
+        assert kernel.res_capacity[slot] == 7.0
+
+    def test_scheduler_rejects_mismatched_allocator_kernel(self):
+        with pytest.raises(SimulationError, match="different kernel"):
+            ColumnarFlowScheduler(
+                Simulator(),
+                allocator=ColumnarRateAllocator(),
+                kernel=FlowKernel(),
+            )
+
+
+class TestZeroCases:
+    def test_zero_byte_flow_completes_at_start_instant(self):
+        done = {}
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            res = Resource("r", 100.0)
+            flow = Flow("empty", 0.0, (res,))
+            sim.schedule(1.5, lambda f=flow: sched.start_flow(f))
+            sim.run()
+            done[label] = flow.completed_at
+        assert done["columnar"] == done["dict"] == 1.5
+
+    def test_settle_at_zero_rate_moves_nothing(self):
+        kernel = FlowKernel()
+        res = Resource("r", 10.0)
+        flow = Flow("stalled", 100.0, (res,))
+        slot = kernel.attach(flow)
+        assert kernel.rate[slot] == 0.0
+        kernel.settle(np.array([slot]), 5.0)
+        assert kernel.remaining[slot] == 100.0
+        assert kernel.settled_at[slot] == 5.0
+        assert kernel.min_eta() == float("inf")
+        assert kernel.due_slots(1e9).size == 0
+
+
+class TestMidWindowCancel:
+    def test_mid_window_cancel_matches_dict_exactly(self):
+        """Cancel one of two competitors mid-window: the survivor's
+        completion time and both tags' byte totals must match the dict
+        path (times exactly, bytes to accumulation-order noise)."""
+        results = {}
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            res = Resource("r", 100.0)
+            keep = Flow("keep", 400.0, (res,), tag="keep")
+            gone = Flow("gone", 400.0, (res,), tag="gone")
+            sched.start_flow(keep)
+            sched.start_flow(gone)
+            sim.schedule(3.0, lambda: sched.cancel_flow(gone))
+            sim.run()
+            results[label] = (keep.completed_at, gone.cancelled,
+                              res.bytes_for("keep"), res.bytes_for("gone"))
+        d, c = results["dict"], results["columnar"]
+        assert c[0] == d[0] == 5.5  # 150 by t=3 at 50/s, 250 more at 100/s
+        assert c[1] is True and d[1] is True
+        assert c[2] == pytest.approx(d[2], rel=1e-12)
+        # The cancelled flow's partial progress is still accounted.
+        assert c[3] == pytest.approx(d[3], rel=1e-12)
+        assert d[3] == pytest.approx(150.0)
+
+    def test_cancel_before_any_progress(self):
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            res = Resource("r", 100.0)
+            flow = Flow("f", 50.0, (res,))
+            sched.start_flow(flow)
+            sched.cancel_flow(flow)  # same instant, zero elapsed
+            sim.run()
+            assert flow.cancelled, label
+            assert flow.completed_at is None, label
+            assert res.total_bytes == 0.0, label
+
+
+class TestDuplicateResourceMembership:
+    def test_duplicate_occurrences_charge_bytes_per_occurrence(self):
+        """A resource listed twice bounds the rate once (dedup) but is
+        charged bytes once per occurrence — on both paths."""
+        results = {}
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            res = Resource("r", 100.0)
+            flow = Flow("dup", 200.0, (res, res), tag="x")
+            sched.start_flow(flow)
+            sim.run()
+            results[label] = (flow.completed_at, res.bytes_for("x"))
+        d, c = results["dict"], results["columnar"]
+        assert c[0] == d[0] == 2.0  # rate 100, not 50: membership dedups
+        assert c[1] == pytest.approx(d[1], rel=1e-12)
+        assert d[1] == pytest.approx(400.0)  # bytes charged twice
+
+
+class TestCompactionUnderChurn:
+    @staticmethod
+    def _churn(make_scheduler):
+        """One long-lived flow plus 120 short sequential flows: enough
+        attach/detach churn to force slot growth and compaction."""
+        sim = Simulator()
+        sched = make_scheduler(sim)
+        res = Resource("r", 100.0)
+        slow = Flow("slow", 30_000.0, (res,))
+        sched.start_flow(slow)
+        shorts = []
+        for i in range(120):
+            f = Flow(f"s{i}", 10.0, (res,))
+            shorts.append(f)
+            sim.schedule(1.0 + i * 2.0, lambda f=f: sched.start_flow(f))
+        sim.run()
+        return [f.completed_at for f in [slow, *shorts]]
+
+    def test_compaction_preserves_timeline_exactly(self):
+        kernel = FlowKernel(capacity=16)
+        dict_timeline = self._churn(
+            lambda sim: FlowScheduler(sim, allocator=RateAllocator())
+        )
+        col_timeline = self._churn(
+            lambda sim: ColumnarFlowScheduler(sim, kernel=kernel)
+        )
+        assert col_timeline == dict_timeline
+        # 121 flows passed through, yet compaction kept the slot space
+        # bounded by the live population, not the total churn.
+        assert kernel.hi <= 64
+        assert kernel.n_alive == 0
+
+    def test_cancel_after_compaction_conserves_bytes(self):
+        """Cancelling a flow that survived several compaction cycles must
+        still detach the right row and fold its progress back.
+
+        The resource runs at full capacity the whole time (the long flow
+        absorbs whatever the shorts leave), so after the cancel at t=500
+        total accounted bytes must equal capacity x elapsed exactly.
+        """
+        sim = Simulator()
+        kernel = FlowKernel(capacity=16)
+        sched = ColumnarFlowScheduler(sim, kernel=kernel)
+        res = Resource("r", 100.0)
+        slow = Flow("slow", 1e9, (res,))
+        sched.start_flow(slow)
+        for i in range(80):
+            f = Flow(f"s{i}", 10.0, (res,))
+            sim.schedule(1.0 + i * 2.0, lambda f=f: sched.start_flow(f))
+        sim.schedule(500.0, lambda: sched.cancel_flow(slow))
+        sim.run()
+        assert slow.cancelled
+        assert kernel.n_alive == 0
+        assert res.total_bytes == pytest.approx(500.0 * 100.0)
+
+
+class TestLiveByteView:
+    def test_mid_flight_byte_view_matches_dict(self):
+        """While flows are still moving, the kernel-backed byte view must
+        agree with the dict path's settled counters."""
+        results = {}
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            res = Resource("r", 100.0)
+            a = Flow("a", 500.0, (res,), tag="fg")
+            b = Flow("b", 500.0, (res,), tag="bg")
+            sched.start_flow(a)
+            sched.start_flow(b)
+            sim.run(until=2.0)
+            sched.settle_now()
+            results[label] = dict(res.bytes_by_tag)
+        d, c = results["dict"], results["columnar"]
+        assert set(d) == set(c)
+        for tag in d:
+            assert c[tag] == pytest.approx(d[tag], rel=1e-12), tag
+        assert d["fg"] == pytest.approx(100.0)  # 2s at a 50/50 split
+
+    def test_byte_view_is_a_snapshot_not_the_counter(self):
+        """The kernel-attached view must not hand out the mutable dict."""
+        sim = Simulator()
+        sched = ColumnarFlowScheduler(sim)
+        res = Resource("r", 100.0)
+        sched.start_flow(Flow("f", 500.0, (res,), tag="x"))
+        sim.run(until=1.0)
+        view = res.bytes_by_tag
+        view["x"] = 1e9
+        assert res.bytes_for("x") != 1e9
+
+
+class TestEtaOrdering:
+    def test_tied_etas_fire_in_the_same_order_on_both_paths(self):
+        """Flows finishing at the same instant must fire completions in
+        the same deterministic order on both paths (heap push-seq on the
+        dict path, eta_seq lexsort on the columnar path)."""
+        orders = {}
+        for label, make in both_schedulers():
+            sim = Simulator()
+            sched = make(sim)
+            finished = []
+            for i in range(4):
+                res = Resource(f"r{i}", 100.0)
+                flow = Flow(f"f{i}", 200.0, (res,))
+                flow.on_complete.append(lambda f: finished.append(f.name))
+                sched.start_flow(flow)
+            sim.run()
+            orders[label] = finished
+        assert orders["columnar"] == orders["dict"]
+        assert sorted(orders["dict"]) == ["f0", "f1", "f2", "f3"]
