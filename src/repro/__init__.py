@@ -30,7 +30,7 @@ Quick start::
 """
 
 from repro.analysis import ReliabilityModel, loss_probability_curve
-from repro.api import Testbed, TestbedBuilder
+from repro.api import ShardRouter, Testbed, TestbedBuilder
 from repro.cluster import (
     GB,
     KB,
@@ -87,6 +87,7 @@ from repro.integrity import (
 from repro.journal import (
     Journal,
     JournalRecord,
+    JournalShard,
     JournalState,
     Lease,
     RecoveryPlan,
@@ -172,6 +173,7 @@ __all__ = (
     "IntegrityRecord",
     "Journal",
     "JournalRecord",
+    "JournalShard",
     "JournalState",
     "KeyRouter",
     "LRCCode",
@@ -197,6 +199,7 @@ __all__ = (
     "SchedulingError",
     "Scrubber",
     "Series",
+    "ShardRouter",
     "SilentCorruption",
     "SimulationError",
     "Simulator",

@@ -117,6 +117,36 @@ def _normalize_trace(name: str) -> str:
         ) from None
 
 
+class ShardRouter:
+    """Deterministic stripe-hash partitioning of the repair batch.
+
+    Each chunk belongs to exactly one control-plane shard, derived from
+    its stripe id by a Knuth multiplicative hash — stable across runs,
+    processes and platforms (pure integer arithmetic, no PYTHONHASHSEED
+    dependence), so a recovering coordinator re-derives the identical
+    partition its predecessor used. All chunks of one stripe land on
+    the same shard, keeping any stripe-local planning within one
+    coordinator. With one shard everything maps to shard 0, making the
+    sharded path degenerate exactly into the single-coordinator one.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ReproError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, chunk: ChunkId) -> int:
+        """The shard owning ``chunk`` (constant per stripe)."""
+        return ((chunk.stripe * 2654435761) & 0xFFFFFFFF) % self.num_shards
+
+    def partition(self, chunks) -> list[list[ChunkId]]:
+        """Split ``chunks`` into per-shard batches, preserving order."""
+        parts: list[list[ChunkId]] = [[] for _ in range(self.num_shards)]
+        for chunk in chunks:
+            parts[self.shard_of(chunk)].append(chunk)
+        return parts
+
+
 class Testbed:
     """One ready-to-run testbed: cluster + stripes + monitor + clients.
 
@@ -183,7 +213,18 @@ class Testbed:
         #: ``id(repairer) -> (algorithm name, user overrides)`` so a
         #: crashed coordinator can be rebuilt identically on recovery.
         self._repairer_specs: dict[int, tuple[str, dict]] = {}
-        self._coordinator_crash_time: float | None = None
+        #: ``id(repairer) -> shard`` (``None`` = unsharded coordinator).
+        self._repairer_shards: dict[int, int | None] = {}
+        #: Crash instants keyed by shard (``None`` = a whole-plane
+        #: crash), so overlapping crashes of different shards each keep
+        #: their own MTTR attribution.
+        self._coordinator_crash_times: dict[int | None, float] = {}
+        #: Router installed by :meth:`start_sharded_repair`.
+        self.shard_router: ShardRouter | None = None
+        #: One entry per observed coordinator crash: the fraction of
+        #: open (pending + leased) chunks stalled by it — the failover
+        #: blast radius exp19 sweeps.
+        self.crash_blasts: list[dict] = []
 
     # -- construction ---------------------------------------------------------
 
@@ -288,27 +329,86 @@ class Testbed:
 
     # -- repair ---------------------------------------------------------------
 
-    def make_repairer(self, name: str, **overrides):
+    def make_repairer(self, name: str, *, shard: int | None = None, **overrides):
         """Build a runner/coordinator for the named algorithm.
 
         The repairer is registered so an installed fault timeline can
         hand it the extra chunks a later crash produces; with integrity
         enabled it is also attached to the data plane (verified repair)
         and the scrubber (detections become its work).
+
+        ``shard`` binds the repairer to one journal partition: it
+        writes through :meth:`Journal.shard_view`, crashes only with a
+        :class:`~repro.faults.CoordinatorCrash` targeting its shard (or
+        the whole plane), and only adopts scrubber detections its shard
+        owns. Requires :meth:`enable_journal`. Most callers want
+        :meth:`start_sharded_repair` instead of binding shards by hand.
         """
         spec = (name, dict(overrides))
+        if shard is not None and self.journal is None:
+            raise ReproError(
+                "a sharded coordinator needs a journal; call "
+                "enable_journal() (or builder .with_journal()) first"
+            )
         if self.journal is not None:
-            overrides.setdefault("journal", self.journal)
+            view = (
+                self.journal if shard is None else self.journal.shard_view(shard)
+            )
+            overrides.setdefault("journal", view)
         repairer = self._build_repairer(name, **overrides)
         self.repairers.append(repairer)
         self._repairer_specs[id(repairer)] = spec
+        self._repairer_shards[id(repairer)] = shard
         if self.dataplane is not None:
             self.dataplane.attach(repairer)
         if self.scrubber is not None:
-            self.scrubber.attach(repairer)
+            self.scrubber.attach(repairer, shard=shard)
         if self.controller is not None:
             self.controller.attach_repairer(repairer)
         return repairer
+
+    def start_sharded_repair(
+        self, name: str, chunks, *, shards: int, **overrides
+    ) -> list:
+        """Partition ``chunks`` across ``shards`` concurrent coordinators.
+
+        A :class:`ShardRouter` deterministically hashes each chunk's
+        stripe to a shard; one repairer per shard is built (each
+        write-through to its own journal partition) and started on its
+        partition, in shard order. The configured reconstruction
+        parallelism is split evenly across shards (each gets at least
+        1), so total parallelism matches the single-coordinator run.
+        With ``shards=1`` this degenerates exactly into
+        ``make_repairer(name).repair(chunks)``.
+
+        Returns the repairers, indexed by shard. The router is also
+        installed on the scrubber (detections go only to the owning
+        shard) and used to route later node-crash chunks.
+        """
+        if self.journal is None:
+            raise ReproError(
+                "sharded repair needs a journal; call enable_journal() "
+                "(or builder .with_journal()) first"
+            )
+        router = ShardRouter(shards)
+        self.shard_router = router
+        if self.scrubber is not None:
+            self.scrubber.router = router
+        parts = router.partition(chunks)
+        per_shard = max(1, self.config.concurrency // shards)
+        key = "concurrency" if name in BASELINES or name in BOOSTED else "max_inflight"
+        repairers = []
+        for shard in range(shards):
+            merged = dict(overrides)
+            merged.setdefault(key, per_shard)
+            repairers.append(self.make_repairer(name, shard=shard, **merged))
+        for shard, repairer in enumerate(repairers):
+            repairer.repair(parts[shard])
+        return repairers
+
+    def shard_of_repairer(self, repairer) -> int | None:
+        """The journal shard ``repairer`` is bound to (None = unsharded)."""
+        return self._repairer_shards.get(id(repairer))
 
     def _build_repairer(self, name: str, **overrides):
         """Construct (without registering) the named algorithm's repairer."""
@@ -512,7 +612,11 @@ class Testbed:
         return self.journal
 
     def inject_coordinator_crash(
-        self, at: float, *, recover_after: float | None = None
+        self,
+        at: float,
+        *,
+        recover_after: float | None = None,
+        shard: int | None = None,
     ) -> FaultTimeline:
         """Kill the repair coordinator ``at`` seconds from now.
 
@@ -522,41 +626,90 @@ class Testbed:
         set (the mean-time-to-recovery of the control plane), a
         replacement coordinator is brought up automatically that many
         seconds after the crash. Requires :meth:`enable_journal` first.
+
+        ``shard`` narrows the blast to one control-plane partition:
+        only that shard's coordinator dies and is later recovered,
+        while sibling shards' transfers continue untouched.
         """
         if self.journal is None:
             raise ReproError(
                 "coordinator crash recovery needs a journal; call "
                 "enable_journal() (or builder .with_journal()) first"
             )
-        timeline = FaultTimeline(seed=self.config.seed + 29).crash_coordinator(at)
+        timeline = FaultTimeline(seed=self.config.seed + 29).crash_coordinator(
+            at, shard
+        )
         self.install_faults(timeline)
         if recover_after is not None:
             if recover_after < 0:
                 raise ReproError("recover_after cannot be negative")
-            self.cluster.sim.schedule(at + recover_after, self._auto_recover)
+            self.cluster.sim.schedule(
+                at + recover_after, lambda: self._auto_recover(shard)
+            )
         return timeline
 
     def _on_coordinator_crash(self, _timeline, event) -> None:
-        crashed_any = False
+        shard = getattr(event, "shard", None)
+        crashed_shards: list[int | None] = []
         for repairer in self.repairers:
-            if getattr(repairer, "_started", False) and not getattr(
+            if not getattr(repairer, "_started", False) or getattr(
                 repairer, "crashed", False
             ):
-                repairer.crash()
-                crashed_any = True
-        if not crashed_any:
+                continue
+            r_shard = self._repairer_shards.get(id(repairer))
+            if shard is not None and r_shard != shard:
+                continue  # targeted crash: siblings keep running
+            repairer.crash()
+            crashed_shards.append(r_shard)
+        if not crashed_shards:
             return
-        self._coordinator_crash_time = self.cluster.sim.now
+        now = self.cluster.sim.now
+        self._coordinator_crash_times[shard] = now
         if self.journal is not None:
-            # The failure detector observed the death: fence the epoch
-            # so its leases are provably void at recovery time.
-            self.journal.fence()
+            state = self.journal.state
+            open_chunks = state.open_work()
+            if shard is None:
+                stalled = len(open_chunks)
+            else:
+                stalled = sum(
+                    1
+                    for chunk in open_chunks
+                    if state.shard_of.get(chunk, 0) == shard
+                )
+            self.crash_blasts.append(
+                {
+                    "at": now,
+                    "shard": shard,
+                    "open": len(open_chunks),
+                    "stalled": stalled,
+                    "blast": stalled / len(open_chunks) if open_chunks else 0.0,
+                }
+            )
+            # The failure detector observed the death: fence the dead
+            # epoch(s) so their leases are provably void at recovery
+            # time. Only the crashed shards are fenced — fencing is the
+            # blast-radius boundary.
+            for r_shard in dict.fromkeys(crashed_shards):
+                self.journal.fence(shard=0 if r_shard is None else r_shard)
 
-    def _auto_recover(self) -> None:
-        if any(getattr(r, "crashed", False) for r in self.repairers):
-            self.recover_repairer()
+    def _auto_recover(self, shard: int | None = None) -> None:
+        while True:
+            candidates = [
+                r for r in self.repairers if getattr(r, "crashed", False)
+            ]
+            if shard is not None:
+                candidates = [
+                    r
+                    for r in candidates
+                    if self._repairer_shards.get(id(r)) == shard
+                ]
+            if not candidates:
+                return
+            self.recover_repairer(shard=shard)
 
-    def recover_repairer(self, name: str | None = None, **overrides):
+    def recover_repairer(
+        self, name: str | None = None, *, shard: int | None = None, **overrides
+    ):
         """Replay the journal and resume repair after a coordinator crash.
 
         Fences the dead epoch, replays the (compacted) journal into the
@@ -568,6 +721,13 @@ class Testbed:
         chunks that still need repairing. Chunks the journal proves
         committed are never re-executed.
 
+        ``shard`` recovers only that partition's dead coordinator —
+        fence, replay, reconcile and rebuild all scoped to the shard,
+        under the shard's next epoch; sibling shards are untouched.
+        With ``shard=None`` the most recent casualty's shard group is
+        recovered (unsharded coordinators form one group), which is the
+        pre-sharding behaviour for unsharded testbeds.
+
         Returns the new repairer, with the
         :class:`~repro.journal.RecoveryPlan` attached as
         ``repairer.recovery``.
@@ -578,12 +738,36 @@ class Testbed:
                 "builder .with_journal()) before repairing"
             )
         crashed = [r for r in self.repairers if getattr(r, "crashed", False)]
+        if shard is not None:
+            crashed = [
+                r
+                for r in crashed
+                if self._repairer_shards.get(id(r)) == shard
+            ]
         if not crashed:
-            raise ReproError("no crashed repairer to recover")
-        self.journal.fence()
+            target = "" if shard is None else f" on shard {shard}"
+            raise ReproError(f"no crashed repairer to recover{target}")
+        # The recovery group: the targeted shard's casualties, or — when
+        # untargeted — every casualty sharing the latest one's shard
+        # (unsharded coordinators all share the ``None`` group).
+        shard_key = (
+            shard
+            if shard is not None
+            else self._repairer_shards.get(id(crashed[-1]))
+        )
+        group = [
+            r
+            for r in crashed
+            if self._repairer_shards.get(id(r)) == shard_key
+        ]
+        journal_shard = 0 if shard_key is None else shard_key
+        self.journal.fence(shard=journal_shard)
         state = self.journal.replay()
         plan = reconcile(
-            state, now=self.cluster.sim.now, chunk_store=self.chunk_store
+            state,
+            now=self.cluster.sim.now,
+            chunk_store=self.chunk_store,
+            shard=None if shard_key is None else shard_key,
         )
         tracer = get_tracer()
         if tracer.enabled:
@@ -592,31 +776,41 @@ class Testbed:
                 track="journal",
                 records=len(self.journal),
                 epoch=plan.epoch,
+                **({} if shard_key is None else {"shard": shard_key}),
                 **plan.summary(),
             )
-        old = crashed[-1]
+        old = group[-1]
         spec_name, spec_overrides = self._repairer_specs.get(
             id(old), (getattr(old, "name", "ChameleonEC"), {})
         )
-        for repairer in crashed:
+        for repairer in group:
             self.repairers.remove(repairer)
             self._repairer_specs.pop(id(repairer), None)
+            self._repairer_shards.pop(id(repairer), None)
         merged = dict(spec_overrides)
         merged.update(overrides)
-        replacement = self.make_repairer(name or spec_name, **merged)
+        replacement = self.make_repairer(
+            name or spec_name, shard=shard_key, **merged
+        )
         replacement.recovery = plan
-        # repair() opens a new journal epoch, so requeued chunks get
-        # fresh leases owned by the replacement.
+        # repair() opens a new journal epoch (on the shard, when bound),
+        # so requeued chunks get fresh leases owned by the replacement.
         replacement.repair(plan.requeue)
+        crash_time = self._coordinator_crash_times.pop(shard_key, None)
+        if crash_time is None and shard_key is not None:
+            # A whole-plane crash felled this shard: its MTTR is
+            # attributed to that crash; later groups of the same crash
+            # measure from the same instant.
+            crash_time = self._coordinator_crash_times.get(None)
         registry = get_registry()
         if registry.enabled:
             registry.counter("journal.recovery.completed").inc()
             registry.counter("journal.recovery.requeued_chunks").inc(
                 len(plan.requeue)
             )
-            if self._coordinator_crash_time is not None:
+            if crash_time is not None:
                 registry.histogram("journal.recovery.latency_s").observe(
-                    self.cluster.sim.now - self._coordinator_crash_time
+                    self.cluster.sim.now - crash_time
                 )
         if tracer.enabled:
             tracer.instant(
@@ -625,7 +819,10 @@ class Testbed:
                 algorithm=name or spec_name,
                 requeued=len(plan.requeue),
             )
-        self._coordinator_crash_time = None
+        if not any(getattr(r, "crashed", False) for r in self.repairers):
+            # Everyone recovered: the whole-plane crash instant (if
+            # any) has no remaining claimants.
+            self._coordinator_crash_times.pop(None, None)
         return replacement
 
     # -- data integrity --------------------------------------------------------
@@ -750,8 +947,22 @@ class Testbed:
             for dead in report.failed_nodes:
                 drop_node_chunks(self.chunk_store, self.store, dead)
         for repairer in self.repairers:
-            if getattr(repairer, "_started", False):
+            if not getattr(repairer, "_started", False):
+                continue
+            shard = self._repairer_shards.get(id(repairer))
+            if shard is None or self.shard_router is None:
                 repairer.add_chunks(report.failed_chunks)
+            else:
+                # Shard-bound coordinators only adopt the chunks their
+                # shard owns; handing everything to everyone would
+                # double-repair each chunk N times.
+                mine = [
+                    chunk
+                    for chunk in report.failed_chunks
+                    if self.shard_router.shard_of(chunk) == shard
+                ]
+                if mine:
+                    repairer.add_chunks(mine)
 
 
 class TestbedBuilder:
@@ -954,6 +1165,7 @@ class TestbedBuilder:
 __all__ = [
     "ALL_ALGORITHMS",
     "ExperimentConfig",
+    "ShardRouter",
     "Testbed",
     "TestbedBuilder",
 ]

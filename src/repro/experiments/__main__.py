@@ -197,6 +197,26 @@ def _exp18(scale, seed, out="BENCH_adaptive.json"):
     )]
 
 
+def _exp19(scale, seed, out="BENCH_shard.json"):
+    from repro.experiments.exp19_shard_failover import (
+        HEADERS,
+        rows,
+        run_exp19,
+        write_bench,
+    )
+
+    results = run_exp19(scale=scale, seed=seed)
+    payload = write_bench(results, out, scale=scale, seed=seed)
+    gate = "PASS" if payload["passed"] else "FAIL"
+    blasts = payload["mean_blast_by_shards"]
+    trend = " -> ".join(f"{blasts[s]:.2f}" for s in sorted(blasts, key=int))
+    return [(
+        f"Exp#19: sharded control-plane failover — {gate} "
+        f"(mean blast radius {trend}, verdicts in {out})",
+        HEADERS, rows(results),
+    )]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -236,13 +256,14 @@ EXPERIMENTS = {
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
     "exp13": _exp13, "exp14": _exp14, "exp15": _exp15, "exp16": _exp16,
-    "exp17": _exp17, "exp18": _exp18,
+    "exp17": _exp17, "exp18": _exp18, "exp19": _exp19,
 }
 
 #: Experiments that write a machine-readable verdict document (--out).
 BENCH_EXPERIMENTS = {
     "exp17": "BENCH_chaos.json",
     "exp18": "BENCH_adaptive.json",
+    "exp19": "BENCH_shard.json",
 }
 
 
@@ -263,8 +284,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="print a run report (per-phase breakdown, slowest "
                              "tasks, scheduler decision log)")
     parser.add_argument("--out", metavar="PATH", default=None,
-                        help="exp17/exp18 only: where to write the "
-                             "machine-readable SLO verdict document")
+                        help="exp17/exp18/exp19 only: where to write the "
+                             "machine-readable verdict document")
     args = parser.parse_args(argv)
 
     if args.trace is not None:

@@ -143,6 +143,8 @@ class ChaosRun:
     """One (traffic family) chaos measurement."""
 
     trace: str
+    #: Control-plane shards (1 = the single-coordinator plane).
+    shards: int
     gate: SLOReport
     probe: SLOReport
     repair_time: float
@@ -166,6 +168,7 @@ class ChaosRun:
     def summary(self) -> dict:
         """The JSON ``summary`` block (everything but the verdicts)."""
         return {
+            "shards": self.shards,
             "repair_time_s": self.repair_time,
             "baseline_p99_ms": self.baseline_p99 * 1e3,
             "worst_window_p99_ms": self.worst_window_p99 * 1e3,
@@ -186,6 +189,7 @@ def run_one(
     *,
     p99_ceiling: float = P99_CEILING,
     admission: dict | None = None,
+    shards: int = 1,
 ) -> ChaosRun:
     """One full chaos run for ``config.trace``; see the module docstring.
 
@@ -195,6 +199,14 @@ def run_one(
     anchor the SLO gate multiplies, so the controller's high-water mark
     and the gate's ceiling speak the same inflation units. ``None``
     keeps the controller off (exp17's open-loop behaviour).
+
+    ``shards`` > 1 runs the sharded control plane
+    (:meth:`~repro.api.Testbed.start_sharded_repair`) and replaces the
+    single whole-plane coordinator crash with *two* targeted shard
+    crashes at different times — shard 0 early, shard 1 mid-run — so
+    the chaos gate exercises bounded-blast-radius failover under the
+    full fault composition. ``shards=1`` is the single-coordinator
+    path, unchanged.
     """
     window = config.t_phase / WINDOWS_PER_PHASE
     chaos_horizon = 2.0 * config.t_phase
@@ -258,12 +270,26 @@ def run_one(
     scrub_rate_mbs = SCRUB_INTENSITY * config.disk_read_bw / 1e6
     testbed.start_scrubber(rate_mbs=scrub_rate_mbs)
 
-    repairer = testbed.make_repairer("ChameleonEC")
-    repairer.repair(report.failed_chunks)
-    testbed.install_faults(chaos)
-    testbed.inject_coordinator_crash(
-        0.15 * config.t_phase, recover_after=0.1 * config.t_phase
-    )
+    if shards == 1:
+        repairer = testbed.make_repairer("ChameleonEC")
+        repairer.repair(report.failed_chunks)
+        testbed.install_faults(chaos)
+        testbed.inject_coordinator_crash(
+            0.15 * config.t_phase, recover_after=0.1 * config.t_phase
+        )
+    else:
+        testbed.start_sharded_repair(
+            "ChameleonEC", report.failed_chunks, shards=shards
+        )
+        testbed.install_faults(chaos)
+        # Two shards die at different times; each failover touches only
+        # its own partition while the sibling keeps repairing.
+        testbed.inject_coordinator_crash(
+            0.15 * config.t_phase, recover_after=0.1 * config.t_phase, shard=0
+        )
+        testbed.inject_coordinator_crash(
+            0.45 * config.t_phase, recover_after=0.1 * config.t_phase, shard=1
+        )
 
     # Detection bound: rot may land up to rot_horizon after injection
     # starts, then one full (contended) scan pass must catch it.
@@ -297,8 +323,12 @@ def run_one(
         specs=probe_specs(), baseline_p99=baseline_p99
     )
 
-    survivor = testbed.repairers[-1]
-    finished = survivor.meter.finished_at
+    finish_times = [r.meter.finished_at for r in testbed.repairers]
+    finished = (
+        max(finish_times)
+        if finish_times and all(f is not None for f in finish_times)
+        else None
+    )
     started = min(
         r.meter.started_at
         for r in testbed.repairers
@@ -309,6 +339,7 @@ def run_one(
     controller = testbed.controller
     return ChaosRun(
         trace=config.trace,
+        shards=shards,
         gate=gate,
         probe=probe,
         repair_time=(finished if finished is not None else sim.now) - started,
@@ -332,9 +363,15 @@ def run_one(
 
 def run_exp17(scale: float = 0.08, seed: int = 0,
               traces: tuple[str, ...] | None = None) -> dict[str, ChaosRun]:
-    """{trace family: chaos measurement} across all traffic families."""
+    """{trace family: chaos measurement} across all traffic families.
+
+    Alongside the per-trace single-coordinator runs, one sharded
+    scenario rides the suite: the first trace family re-run with a
+    2-shard control plane and two staggered shard crashes, so the gate
+    exercises bounded-blast-radius failover under full chaos.
+    """
     chosen = tuple(TRACE_FACTORIES) if traces is None else traces
-    return {
+    results = {
         trace: run_one(
             ExperimentConfig.scaled(
                 scale, seed=seed, chunk_mb=CHUNK_MB, trace=trace
@@ -342,6 +379,14 @@ def run_exp17(scale: float = 0.08, seed: int = 0,
         )
         for trace in chosen
     }
+    if chosen:
+        results[f"{chosen[0]} (2 shards)"] = run_one(
+            ExperimentConfig.scaled(
+                scale, seed=seed, chunk_mb=CHUNK_MB, trace=chosen[0]
+            ),
+            shards=2,
+        )
+    return results
 
 
 def verdict_payload(results: dict[str, ChaosRun], *,

@@ -136,7 +136,14 @@ class CoordinatorCrash(FaultEvent):
     emits the ``coordinator_crashed`` hook — tearing down the actual
     repairer object(s) is the subscriber's job (the
     :class:`repro.api.Testbed` wires this to ``repairer.crash()``).
+
+    ``shard`` targets one partition of a sharded control plane: only
+    that shard's coordinator dies, sibling shards keep repairing.
+    ``None`` (the default) kills every live coordinator — the whole
+    plane, matching the pre-sharding behaviour.
     """
+
+    shard: int | None = None
 
 
 @dataclass
@@ -257,9 +264,17 @@ class FaultTimeline(HookEmitter):
         self._add(LatentSectorError(at=self._check_at(at), chunk=chunk))
         return self
 
-    def crash_coordinator(self, at: float) -> "FaultTimeline":
-        """Schedule a repair control-plane crash."""
-        self._add(CoordinatorCrash(at=self._check_at(at)))
+    def crash_coordinator(
+        self, at: float, shard: int | None = None
+    ) -> "FaultTimeline":
+        """Schedule a repair control-plane crash.
+
+        ``shard`` kills only that partition's coordinator; ``None``
+        kills the whole plane.
+        """
+        if shard is not None and shard < 0:
+            raise SimulationError("shard id must be >= 0")
+        self._add(CoordinatorCrash(at=self._check_at(at), shard=shard))
         return self
 
     def rot(
@@ -706,7 +721,8 @@ class FaultTimeline(HookEmitter):
     def _run_coordinator_crash(self, event: CoordinatorCrash) -> None:
         tracer = get_tracer()
         if tracer.enabled:
-            tracer.instant("fault.coordinator_crash", track="faults")
+            detail = {} if event.shard is None else {"shard": event.shard}
+            tracer.instant("fault.coordinator_crash", track="faults", **detail)
         registry = get_registry()
         if registry.enabled:
             registry.counter("faults.coordinator_crashes").inc()

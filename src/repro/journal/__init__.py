@@ -8,7 +8,11 @@ journal fixes that:
 
 * :class:`Journal` — a virtual-time write-ahead log the repair drivers
   write through at every state transition, with epoch fencing,
-  lease-based chunk ownership and compacting checkpoints;
+  lease-based chunk ownership and compacting checkpoints. The log is
+  partitioned into *shards* (per-shard epoch counters, fences and
+  leases in one shared record sequence) so N coordinators can run
+  concurrently; :meth:`Journal.shard_view` hands each coordinator a
+  :class:`JournalShard` write-through view of its own partition;
 * :class:`JournalState` / :class:`JournalRecord` / :class:`Lease` — the
   replayable fold of the record sequence;
 * :func:`reconcile` / :class:`RecoveryPlan` — replay reconciled against
@@ -38,7 +42,7 @@ from repro.journal.records import (
     Lease,
 )
 from repro.journal.recovery import RecoveryPlan, reconcile
-from repro.journal.wal import Journal
+from repro.journal.wal import Journal, JournalShard
 
 __all__ = [
     "ATTEMPT_FAILED",
@@ -54,6 +58,7 @@ __all__ = [
     "RECORD_KINDS",
     "Journal",
     "JournalRecord",
+    "JournalShard",
     "JournalState",
     "Lease",
     "RecoveryPlan",

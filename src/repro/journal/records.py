@@ -62,33 +62,55 @@ RECORD_KINDS = (
 
 @dataclass(frozen=True)
 class Lease:
-    """Time-bounded ownership of one in-flight chunk repair."""
+    """Time-bounded ownership of one in-flight chunk repair.
+
+    The lease is held over the half-open interval
+    ``[acquired_at, expires_at)``: at exactly ``now == expires_at`` the
+    lease has already lapsed and the chunk is re-executable. The
+    half-open convention keeps recovery conservative-but-live — a
+    recovering coordinator scheduled at precisely the expiry instant
+    never deadlocks waiting one more tick for a dead owner.
+    """
 
     chunk: ChunkId
     epoch: int
     acquired_at: float
     expires_at: float
+    #: Journal partition that granted the lease (0 = the unsharded /
+    #: default partition).
+    shard: int = 0
 
     def expired(self, now: float) -> bool:
-        """True once the virtual clock passed the lease's expiry."""
+        """True once ``now`` reached ``expires_at`` (half-open hold)."""
         return now >= self.expires_at
 
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One append-only journal entry, stamped with virtual time."""
+    """One append-only journal entry, stamped with virtual time.
+
+    ``shard`` names the journal partition the record belongs to. All
+    partitions share one append-only log (and one ``seq`` space); the
+    shard id keys the per-partition epoch/fence/lease bookkeeping.
+    Shard 0 is the default partition and is omitted from the JSON form,
+    keeping single-coordinator logs byte-identical to the pre-sharding
+    format.
+    """
 
     seq: int
     at: float
     kind: str
     chunk: ChunkId | None = None
     payload: dict = field(default_factory=dict)
+    shard: int = 0
 
     def to_dict(self) -> dict:
         """JSON-safe form (ChunkIds become ``[stripe, index]`` pairs)."""
         out = {"seq": self.seq, "at": self.at, "kind": self.kind}
         if self.chunk is not None:
             out["chunk"] = [self.chunk.stripe, self.chunk.index]
+        if self.shard:
+            out["shard"] = self.shard
         if self.payload:
             out["payload"] = self.payload
         return out
@@ -102,6 +124,7 @@ class JournalRecord:
             kind=data["kind"],
             chunk=ChunkId(*chunk) if chunk is not None else None,
             payload=dict(data.get("payload", {})),
+            shard=data.get("shard", 0),
         )
 
 
@@ -116,26 +139,65 @@ class JournalState:
     as ordered sets), so replay reproduces the coordinator's work order
     deterministically. ``leases`` maps every in-flight chunk to its
     current :class:`Lease`.
+
+    Epochs and fences are kept *per shard* (``_epochs`` / ``_fenced``
+    keyed by shard id); ``epoch`` and ``fenced`` remain as shard-0
+    properties so single-coordinator callers see the pre-sharding
+    surface unchanged. ``shard_of`` tracks the partition that last
+    journaled each chunk, which is what lets :func:`reconcile` carve a
+    per-shard recovery plan out of the shared log.
     """
 
     def __init__(self) -> None:
-        self.epoch = 0
-        self.fenced = False  # current epoch declared dead?
+        self._epochs: dict[int, int] = {}
+        self._fenced: dict[int, bool] = {}  # epoch declared dead, per shard
         self.pending: dict[ChunkId, int] = {}
         self.leases: dict[ChunkId, Lease] = {}
         self.committed: dict[ChunkId, int] = {}
         self.lost: dict[ChunkId, int] = {}
+        self.shard_of: dict[ChunkId, int] = {}
+
+    # -- per-shard epoch surface ----------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Shard 0's epoch (the whole journal's, when unsharded)."""
+        return self._epochs.get(0, 0)
+
+    @property
+    def fenced(self) -> bool:
+        """Shard 0's fence flag (the whole journal's, when unsharded)."""
+        return self._fenced.get(0, False)
+
+    def epoch_of(self, shard: int) -> int:
+        return self._epochs.get(shard, 0)
+
+    def fenced_of(self, shard: int) -> bool:
+        return self._fenced.get(shard, False)
+
+    def shards(self) -> list[int]:
+        """Every shard id the log has touched (always includes 0)."""
+        ids = {0} | set(self._epochs) | set(self._fenced)
+        ids.update(self.shard_of.values())
+        return sorted(ids)
 
     # -- transitions ----------------------------------------------------------
 
     def apply(self, record: JournalRecord) -> None:
         """Advance the state by one record (replay == live bookkeeping)."""
-        kind, chunk, seq = record.kind, record.chunk, record.seq
+        kind, chunk, seq, shard = (
+            record.kind,
+            record.chunk,
+            record.seq,
+            record.shard,
+        )
+        if chunk is not None:
+            self.shard_of[chunk] = shard
         if kind == COORDINATOR_START:
-            self.epoch = record.payload["epoch"]
-            self.fenced = False
+            self._epochs[shard] = record.payload["epoch"]
+            self._fenced[shard] = False
         elif kind == COORDINATOR_CRASH:
-            self.fenced = True
+            self._fenced[shard] = True
         elif kind == ENQUEUED:
             self.committed.pop(chunk, None)
             self.lost.pop(chunk, None)
@@ -145,9 +207,10 @@ class JournalState:
             self.pending.pop(chunk, None)
             self.leases[chunk] = Lease(
                 chunk=chunk,
-                epoch=self.epoch,
+                epoch=self.epoch_of(shard),
                 acquired_at=record.at,
                 expires_at=record.payload["lease_expires"],
+                shard=shard,
             )
         elif kind == ATTEMPT_FAILED:
             self.leases.pop(chunk, None)
@@ -182,17 +245,34 @@ class JournalState:
         lease = self.leases.get(chunk)
         if lease is None:
             return True
-        return lease.epoch < self.epoch or self.fenced or lease.expired(now)
+        return (
+            lease.epoch < self.epoch_of(lease.shard)
+            or self.fenced_of(lease.shard)
+            or lease.expired(now)
+        )
 
-    def open_work(self) -> list[ChunkId]:
-        """Chunks neither committed nor lost, in journal order."""
-        return list(self.pending) + list(self.leases)
+    def open_work(self, shard: int | None = None) -> list[ChunkId]:
+        """Chunks neither committed nor lost, in journal order.
+
+        ``shard`` narrows the view to one partition's chunks; ``None``
+        spans every partition.
+        """
+        chunks = list(self.pending) + list(self.leases)
+        if shard is None:
+            return chunks
+        return [c for c in chunks if self.shard_of.get(c, 0) == shard]
 
     # -- checkpoint snapshots --------------------------------------------------
 
     def snapshot(self) -> dict:
-        """JSON-safe snapshot restoring this exact state."""
-        return {
+        """JSON-safe snapshot restoring this exact state.
+
+        Shard metadata (``shards`` per-partition epochs/fences and the
+        ``shard_of`` chunk map) is emitted only when a non-zero shard
+        exists, keeping single-coordinator snapshots byte-identical to
+        the pre-sharding format.
+        """
+        snap = {
             "epoch": self.epoch,
             "fenced": self.fenced,
             "pending": [_chunk_key(c) for c in self.pending],
@@ -202,17 +282,36 @@ class JournalState:
                     "epoch": lease.epoch,
                     "acquired_at": lease.acquired_at,
                     "expires_at": lease.expires_at,
+                    **({"shard": lease.shard} if lease.shard else {}),
                 }
                 for lease in self.leases.values()
             ],
             "committed": [_chunk_key(c) for c in self.committed],
             "lost": [_chunk_key(c) for c in self.lost],
         }
+        extra = sorted(
+            s
+            for s in set(self._epochs) | set(self._fenced)
+            if s != 0
+        )
+        if extra:
+            snap["shards"] = [
+                [s, self.epoch_of(s), self.fenced_of(s)] for s in extra
+            ]
+        sharded = sorted(
+            (c.stripe, c.index, s) for c, s in self.shard_of.items() if s != 0
+        )
+        if sharded:
+            snap["shard_of"] = [list(entry) for entry in sharded]
+        return snap
 
     def restore(self, snap: dict) -> None:
         """Replace the state wholesale with a checkpoint snapshot."""
-        self.epoch = snap["epoch"]
-        self.fenced = snap["fenced"]
+        self._epochs = {0: snap["epoch"]}
+        self._fenced = {0: snap["fenced"]}
+        for shard, epoch, fenced in snap.get("shards", []):
+            self._epochs[shard] = epoch
+            self._fenced[shard] = fenced
         self.pending = {ChunkId(*c): -1 for c in snap["pending"]}
         self.leases = {
             ChunkId(*entry["chunk"]): Lease(
@@ -220,8 +319,17 @@ class JournalState:
                 epoch=entry["epoch"],
                 acquired_at=entry["acquired_at"],
                 expires_at=entry["expires_at"],
+                shard=entry.get("shard", 0),
             )
             for entry in snap["leases"]
         }
         self.committed = {ChunkId(*c): -1 for c in snap["committed"]}
         self.lost = {ChunkId(*c): -1 for c in snap["lost"]}
+        overrides = {
+            ChunkId(stripe, index): shard
+            for stripe, index, shard in snap.get("shard_of", [])
+        }
+        self.shard_of = {}
+        for collection in (self.pending, self.leases, self.committed, self.lost):
+            for chunk in collection:
+                self.shard_of[chunk] = overrides.get(chunk, 0)

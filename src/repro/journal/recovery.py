@@ -48,6 +48,8 @@ class RecoveryPlan:
     adopted_from_store: list[ChunkId] = field(default_factory=list)
     #: Epoch of the journal state the plan was derived from.
     epoch: int = 0
+    #: Shard the plan covers (``None`` = the whole journal).
+    shard: int | None = None
 
     def summary(self) -> dict[str, int]:
         """Counts for logs and trace instants."""
@@ -70,28 +72,46 @@ def _store_has_verified(chunk_store, chunk: ChunkId) -> bool:
 
 
 def reconcile(
-    state: JournalState, *, now: float, chunk_store=None
+    state: JournalState, *, now: float, chunk_store=None, shard: int | None = None
 ) -> RecoveryPlan:
     """Fold journal intent and store ground truth into a recovery plan.
 
     ``chunk_store=None`` (no integrity machinery) trusts the journal
     alone: committed stays committed, everything open is requeued or
     blocked purely on lease grounds.
+
+    ``shard`` narrows the plan to one journal partition: only chunks
+    last journaled by that shard are classified, and the plan's epoch
+    is that shard's. ``None`` keeps the whole-journal (single
+    coordinator) behaviour.
     """
-    plan = RecoveryPlan(epoch=state.epoch)
+
+    def mine(chunk: ChunkId) -> bool:
+        return shard is None or state.shard_of.get(chunk, 0) == shard
+
+    plan = RecoveryPlan(
+        epoch=state.epoch if shard is None else state.epoch_of(shard),
+        shard=shard,
+    )
     for chunk in state.committed:
+        if not mine(chunk):
+            continue
         if chunk_store is not None and not _store_has_verified(chunk_store, chunk):
             plan.demoted.append(chunk)
             plan.requeue.append(chunk)
         else:
             plan.completed.append(chunk)
     for chunk in state.pending:
+        if not mine(chunk):
+            continue
         if _store_has_verified(chunk_store, chunk):
             plan.adopted_from_store.append(chunk)
             plan.completed.append(chunk)
         else:
             plan.requeue.append(chunk)
     for chunk in state.leases:
+        if not mine(chunk):
+            continue
         if _store_has_verified(chunk_store, chunk):
             plan.adopted_from_store.append(chunk)
             plan.completed.append(chunk)
@@ -99,5 +119,5 @@ def reconcile(
             plan.requeue.append(chunk)
         else:
             plan.blocked.append(chunk)
-    plan.lost = list(state.lost)
+    plan.lost = [chunk for chunk in state.lost if mine(chunk)]
     return plan

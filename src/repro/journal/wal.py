@@ -70,12 +70,27 @@ class Journal:
         self.records: list[JournalRecord] = []
         #: Live fold of the record sequence (what replay would rebuild).
         self.state = JournalState()
-        self.epoch = 0
+        #: Issued epoch counters, one per shard (partition) of the log.
+        self.epochs: dict[int, int] = {}
         #: Records dropped by compaction (they live on inside the last
         #: checkpoint's snapshot).
         self.compacted_records = 0
         self._seq = 0
         self._since_checkpoint = 0
+
+    # -- per-shard epoch surface ----------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Shard 0's issued epoch (the whole journal's, when unsharded)."""
+        return self.epochs.get(0, 0)
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self.epochs[0] = value
+
+    def epoch_of(self, shard: int) -> int:
+        return self.epochs.get(shard, 0)
 
     # -- clock ----------------------------------------------------------------
 
@@ -85,11 +100,16 @@ class Journal:
     # -- the append path ------------------------------------------------------
 
     def append(
-        self, kind: str, chunk: ChunkId | None = None, **payload
+        self, kind: str, chunk: ChunkId | None = None, *, shard: int = 0, **payload
     ) -> JournalRecord:
         """Append one record, fold it into the state, maybe checkpoint."""
         record = JournalRecord(
-            seq=self._seq, at=self._now(), kind=kind, chunk=chunk, payload=payload
+            seq=self._seq,
+            at=self._now(),
+            kind=kind,
+            chunk=chunk,
+            payload=payload,
+            shard=shard,
         )
         self._seq += 1
         self.records.append(record)
@@ -109,55 +129,80 @@ class Journal:
 
     # -- write-through API (called by the repairers) ---------------------------
 
-    def coordinator_started(self) -> int:
-        """Open a new coordinator epoch; voids every older lease."""
-        self.epoch += 1
-        self.append(COORDINATOR_START, epoch=self.epoch)
-        return self.epoch
+    def coordinator_started(self, *, shard: int = 0) -> int:
+        """Open a new coordinator epoch on ``shard``; voids its older leases."""
+        self.epochs[shard] = self.epoch_of(shard) + 1
+        self.append(COORDINATOR_START, shard=shard, epoch=self.epochs[shard])
+        return self.epochs[shard]
 
-    def fence(self) -> None:
-        """Record the current incarnation's death (voids its leases).
+    def fence(self, *, shard: int = 0) -> None:
+        """Record one shard's incarnation death (voids its leases).
 
         Written by whoever *observes* the crash — the fault timeline's
         handler or a recovering coordinator — never by the dead process.
-        Idempotent per epoch.
+        Idempotent per epoch. Sibling shards' epochs and leases are
+        untouched: fencing is the blast-radius boundary.
         """
-        if self.state.fenced:
+        if self.state.fenced_of(shard):
             return
-        self.append(COORDINATOR_CRASH, epoch=self.epoch)
+        self.append(COORDINATOR_CRASH, shard=shard, epoch=self.epoch_of(shard))
         tracer = get_tracer()
         if tracer.enabled:
-            tracer.instant("journal.fence", track="journal", epoch=self.epoch)
+            tracer.instant(
+                "journal.fence",
+                track="journal",
+                epoch=self.epoch_of(shard),
+                shard=shard,
+            )
 
-    def chunk_enqueued(self, chunk: ChunkId) -> None:
-        self.append(ENQUEUED, chunk)
+    def chunk_enqueued(self, chunk: ChunkId, *, shard: int = 0) -> None:
+        self.append(ENQUEUED, chunk, shard=shard)
 
     def plan_chosen(
-        self, chunk: ChunkId, *, destination: int, sources: list[int], attempt: int
+        self,
+        chunk: ChunkId,
+        *,
+        destination: int,
+        sources: list[int],
+        attempt: int,
+        shard: int = 0,
     ) -> None:
         self.append(
             PLAN_CHOSEN,
             chunk,
+            shard=shard,
             destination=destination,
             sources=list(sources),
             attempt=attempt,
             lease_expires=self._now() + self.lease_duration,
         )
 
-    def reads_issued(self, chunk: ChunkId, *, transfers: int) -> None:
-        self.append(READS_ISSUED, chunk, transfers=transfers)
+    def reads_issued(self, chunk: ChunkId, *, transfers: int, shard: int = 0) -> None:
+        self.append(READS_ISSUED, chunk, shard=shard, transfers=transfers)
 
-    def attempt_failed(self, chunk: ChunkId, reason: str) -> None:
-        self.append(ATTEMPT_FAILED, chunk, reason=reason)
+    def attempt_failed(self, chunk: ChunkId, reason: str, *, shard: int = 0) -> None:
+        self.append(ATTEMPT_FAILED, chunk, shard=shard, reason=reason)
 
-    def decode_verified(self, chunk: ChunkId) -> None:
-        self.append(DECODE_VERIFIED, chunk)
+    def decode_verified(self, chunk: ChunkId, *, shard: int = 0) -> None:
+        self.append(DECODE_VERIFIED, chunk, shard=shard)
 
-    def writeback_committed(self, chunk: ChunkId) -> None:
-        self.append(COMMITTED, chunk)
+    def writeback_committed(self, chunk: ChunkId, *, shard: int = 0) -> None:
+        self.append(COMMITTED, chunk, shard=shard)
 
-    def chunk_lost(self, chunk: ChunkId) -> None:
-        self.append(LOST, chunk)
+    def chunk_lost(self, chunk: ChunkId, *, shard: int = 0) -> None:
+        self.append(LOST, chunk, shard=shard)
+
+    # -- shard views -----------------------------------------------------------
+
+    def shard_view(self, shard: int) -> "JournalShard":
+        """A write-through view bound to one partition of this log.
+
+        Handing ``shard_view(s)`` to a repairer makes every record it
+        writes land on shard ``s`` without the repairer knowing shards
+        exist — the proxy pre-binds the shard id on the full
+        write-through surface.
+        """
+        return JournalShard(self, shard)
 
     # -- checkpoints & compaction ----------------------------------------------
 
@@ -205,17 +250,28 @@ class Journal:
     # -- durability round-trip -------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialise the journal (records + cursor) to JSON."""
-        return json.dumps(
-            {
-                "lease_duration": self.lease_duration,
-                "checkpoint_interval": self.checkpoint_interval,
-                "epoch": self.epoch,
-                "seq": self._seq,
-                "compacted_records": self.compacted_records,
-                "records": [r.to_dict() for r in self.records],
-            }
-        )
+        """Serialise the journal (records + cursor) to JSON.
+
+        ``shard_epochs`` (non-zero shards' issued-epoch counters) is
+        emitted only when sharding was used, so unsharded journals keep
+        the pre-sharding byte format.
+        """
+        doc = {
+            "lease_duration": self.lease_duration,
+            "checkpoint_interval": self.checkpoint_interval,
+            "epoch": self.epoch,
+            "seq": self._seq,
+            "compacted_records": self.compacted_records,
+            "records": [r.to_dict() for r in self.records],
+        }
+        shard_epochs = {
+            str(shard): epoch
+            for shard, epoch in sorted(self.epochs.items())
+            if shard != 0
+        }
+        if shard_epochs:
+            doc["shard_epochs"] = shard_epochs
+        return json.dumps(doc)
 
     @classmethod
     def from_json(cls, text: str, sim=None) -> "Journal":
@@ -227,6 +283,8 @@ class Journal:
             checkpoint_interval=data["checkpoint_interval"],
         )
         journal.epoch = data["epoch"]
+        for shard, epoch in data.get("shard_epochs", {}).items():
+            journal.epochs[int(shard)] = epoch
         journal._seq = data["seq"]
         journal.compacted_records = data["compacted_records"]
         journal.records = [JournalRecord.from_dict(r) for r in data["records"]]
@@ -237,3 +295,75 @@ class Journal:
     def __len__(self) -> int:
         """Records currently held (post-compaction)."""
         return len(self.records)
+
+
+class JournalShard:
+    """One partition of a :class:`Journal`, as seen by its coordinator.
+
+    Exposes the journal's write-through surface with the shard id
+    pre-bound, so a repairer built against the unsharded `Journal` API
+    works against a partition unmodified. All shards append to the one
+    shared log; only the epoch/fence/lease bookkeeping is partitioned.
+    """
+
+    __slots__ = ("journal", "shard")
+
+    def __init__(self, journal: Journal, shard: int) -> None:
+        if shard < 0:
+            raise SimulationError("shard id must be >= 0")
+        self.journal = journal
+        self.shard = shard
+
+    # The repairers read these for bookkeeping / invariant checks.
+
+    @property
+    def state(self) -> JournalState:
+        return self.journal.state
+
+    @property
+    def epoch(self) -> int:
+        return self.journal.epoch_of(self.shard)
+
+    @property
+    def lease_duration(self) -> float:
+        return self.journal.lease_duration
+
+    # Write-through surface, shard pre-bound.
+
+    def coordinator_started(self) -> int:
+        return self.journal.coordinator_started(shard=self.shard)
+
+    def fence(self) -> None:
+        self.journal.fence(shard=self.shard)
+
+    def chunk_enqueued(self, chunk: ChunkId) -> None:
+        self.journal.chunk_enqueued(chunk, shard=self.shard)
+
+    def plan_chosen(
+        self, chunk: ChunkId, *, destination: int, sources: list[int], attempt: int
+    ) -> None:
+        self.journal.plan_chosen(
+            chunk,
+            destination=destination,
+            sources=sources,
+            attempt=attempt,
+            shard=self.shard,
+        )
+
+    def reads_issued(self, chunk: ChunkId, *, transfers: int) -> None:
+        self.journal.reads_issued(chunk, transfers=transfers, shard=self.shard)
+
+    def attempt_failed(self, chunk: ChunkId, reason: str) -> None:
+        self.journal.attempt_failed(chunk, reason, shard=self.shard)
+
+    def decode_verified(self, chunk: ChunkId) -> None:
+        self.journal.decode_verified(chunk, shard=self.shard)
+
+    def writeback_committed(self, chunk: ChunkId) -> None:
+        self.journal.writeback_committed(chunk, shard=self.shard)
+
+    def chunk_lost(self, chunk: ChunkId) -> None:
+        self.journal.chunk_lost(chunk, shard=self.shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JournalShard(shard={self.shard}, journal={self.journal!r})"

@@ -39,6 +39,7 @@ FROZEN_SURFACE = (
     "IntegrityRecord",
     "Journal",
     "JournalRecord",
+    "JournalShard",
     "JournalState",
     "KeyRouter",
     "LRCCode",
@@ -64,6 +65,7 @@ FROZEN_SURFACE = (
     "SchedulingError",
     "Scrubber",
     "Series",
+    "ShardRouter",
     "SilentCorruption",
     "SimulationError",
     "Simulator",
