@@ -73,6 +73,7 @@ from repro.faults import (
     FaultTimeline,
     FlowInterruption,
     LatentSectorError,
+    NetworkPartition,
     NodeCrash,
     SilentCorruption,
     ToleranceExceeded,
@@ -91,6 +92,7 @@ from repro.journal import (
     JournalState,
     Lease,
     RecoveryPlan,
+    audit_fenced_writes,
     reconcile,
 )
 from repro.metrics import (
@@ -99,7 +101,7 @@ from repro.metrics import (
     RepairThroughputMeter,
     interference_degree,
 )
-from repro.monitor import BandwidthMonitor, ProgressTracker
+from repro.monitor import BandwidthMonitor, FailureDetector, ProgressTracker
 from repro.obs import (
     MetricsRegistry,
     Series,
@@ -114,6 +116,7 @@ from repro.obs import (
 from repro.repair import (
     ConventionalRepair,
     ECPipe,
+    HedgePolicy,
     PPR,
     RepairBoost,
     RepairPlan,
@@ -163,11 +166,13 @@ __all__ = (
     "ECPipe",
     "ErasureCode",
     "ExperimentConfig",
+    "FailureDetector",
     "FailureInjector",
     "FailureReport",
     "FaultEvent",
     "FaultTimeline",
     "FlowInterruption",
+    "HedgePolicy",
     "HookEmitter",
     "IntegrityLedger",
     "IntegrityRecord",
@@ -181,6 +186,7 @@ __all__ = (
     "LatentSectorError",
     "Lease",
     "LinkStatsCollector",
+    "NetworkPartition",
     "Node",
     "NodeCrash",
     "PPR",
@@ -217,6 +223,7 @@ __all__ = (
     "TraceClient",
     "TransientStraggler",
     "TransitioningTrace",
+    "audit_fenced_writes",
     "execute_plan",
     "gbps",
     "interference_degree",

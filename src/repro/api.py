@@ -58,11 +58,13 @@ from repro.integrity.ledger import IntegrityLedger
 from repro.integrity.scrubber import Scrubber
 from repro.journal import Journal, reconcile
 from repro.monitor.bandwidth import BandwidthMonitor
+from repro.monitor.failure_detector import FailureDetector
 from repro.obs.metrics import get_registry
 from repro.obs.timeseries import TimeseriesRecorder
 from repro.obs.tracer import get_tracer
 from repro.repair.base import ConventionalRepair, ECPipe, PPR
 from repro.repair.dataplane import DataPlane
+from repro.repair.hedging import HedgePolicy
 from repro.repair.repairboost import RepairBoost
 from repro.repair.runner import RepairRunner
 from repro.slo import RunTelemetry, SLOEvaluator, SLOReport, SLOSpec
@@ -225,6 +227,21 @@ class Testbed:
         #: open (pending + leased) chunks stalled by it — the failover
         #: blast radius exp19 sweeps.
         self.crash_blasts: list[dict] = []
+        #: Accrual failure detector (see :meth:`enable_failure_detector`).
+        self.detector: FailureDetector | None = None
+        #: Hedged-read policy applied to every repairer (see
+        #: :meth:`enable_hedged_reads`).
+        self.hedge_policy: HedgePolicy | None = None
+        #: ``id(repairer) -> home node`` for coordinators pinned with
+        #: :meth:`place_coordinator` (partition-aware control plane).
+        self.coordinator_homes: dict[int, int] = {}
+        #: Node hosting the journal/metadata service (None = first
+        #: client). Coordinators cut off from it get zombie-fenced.
+        self.journal_home: int | None = None
+        #: Coordinators fenced while partitioned away, awaiting heal.
+        self._zombies: set[int] = set()
+        #: Zombie coordinators that stepped down after reconnecting.
+        self.zombie_stepdowns = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -355,6 +372,8 @@ class Testbed:
                 self.journal if shard is None else self.journal.shard_view(shard)
             )
             overrides.setdefault("journal", view)
+        if self.hedge_policy is not None:
+            overrides.setdefault("hedge", self.hedge_policy)
         repairer = self._build_repairer(name, **overrides)
         self.repairers.append(repairer)
         self._repairer_specs[id(repairer)] = spec
@@ -586,6 +605,211 @@ class Testbed:
         controller.start()
         self.controller = controller
         return controller
+
+    # -- partition tolerance ---------------------------------------------------
+
+    def enable_partitions(
+        self,
+        *,
+        count: int = 1,
+        duration: tuple[float, float] = (2.0, 6.0),
+        group_fraction: tuple[float, float] = (0.2, 0.5),
+        horizon: float | None = None,
+        seed: int | None = None,
+    ) -> FaultTimeline:
+        """Schedule seeded network-partition waves over the storage nodes.
+
+        Builds a :meth:`FaultTimeline.partitions` schedule (each wave
+        splits a random group off for a bounded duration, stalling every
+        cross-cut flow until heal) and installs it. Offsets count from
+        now. Returns the timeline; compose further faults on it *before*
+        calling, or install a second timeline afterwards.
+        """
+        horizon = horizon if horizon is not None else self.config.t_phase * 2
+        timeline = FaultTimeline(
+            seed=self.config.seed + 31 if seed is None else seed
+        ).partitions(
+            nodes=list(self.cluster.storage_ids),
+            horizon=horizon,
+            count=count,
+            duration=duration,
+            group_fraction=group_fraction,
+        )
+        return self.install_faults(timeline)
+
+    def enable_failure_detector(
+        self,
+        *,
+        heartbeat_interval: float = 0.5,
+        threshold: float = 3.0,
+        window: int = 8,
+        home: int | None = None,
+        min_heartbeat_capacity: float = 0.05,
+    ) -> FailureDetector:
+        """Start the accrual (phi) failure detector and wire it in.
+
+        Heartbeats flow over the same partitionable links as data, so
+        crashes, partitions and deep stragglers all starve them. The
+        detector's suspicion feeds two consumers automatically: the
+        failure injector filters suspected helpers out of fresh plans
+        (best-effort — never affects repairability), and every started
+        repairer fails its in-flight instances touching a fresh suspect
+        (``helper_suspected``), re-planning *before* ``chunk_timeout``
+        fires. Idempotent; returns the detector.
+        """
+        if self.detector is not None:
+            return self.detector
+        detector = FailureDetector(
+            self.cluster,
+            heartbeat_interval=heartbeat_interval,
+            threshold=threshold,
+            window=window,
+            home=home,
+            min_heartbeat_capacity=min_heartbeat_capacity,
+        ).start()
+        detector.on("suspect", self._on_suspect)
+        self.injector.suspicion = detector.is_suspected
+        self.detector = detector
+        return detector
+
+    def _on_suspect(self, _detector, node_id, false_positive) -> None:
+        for repairer in self.repairers:
+            if getattr(repairer, "_started", False) and not getattr(
+                repairer, "crashed", False
+            ):
+                repairer.helper_suspected(node_id)
+
+    def enable_hedged_reads(
+        self,
+        *,
+        series: str = "lat.foreground.p99",
+        multiplier: float = 4.0,
+        min_delay: float = 2.0,
+        fixed_delay: float | None = None,
+    ) -> HedgePolicy:
+        """Race backup plans against tail-latency repairs.
+
+        Installs a :class:`~repro.repair.hedging.HedgePolicy` on every
+        repairer, existing and future: an in-flight chunk running past
+        the hedge delay (derived from the live ``series`` p99 when the
+        timeseries recorder is on, else ``min_delay``) launches one
+        backup plan built around its slowest helper; first complete
+        wins, the loser is cancelled. Idempotent; returns the policy.
+        """
+        if self.hedge_policy is not None:
+            return self.hedge_policy
+        policy = HedgePolicy(
+            recorder=self.timeseries,
+            series=series,
+            multiplier=multiplier,
+            min_delay=min_delay,
+            fixed_delay=fixed_delay,
+        )
+        self.hedge_policy = policy
+        for repairer in self.repairers:
+            if getattr(repairer, "hedge", None) is None:
+                repairer.hedge = policy
+        return policy
+
+    def place_coordinator(self, repairer, node_id: int) -> None:
+        """Pin ``repairer``'s control process to a home node.
+
+        A pinned coordinator participates in the zombie protocol: when a
+        partition cuts its home off from :attr:`journal_home`, the rest
+        of the cluster fences its journal shard (it is presumed dead),
+        so every write-through the isolated-but-alive coordinator makes
+        is rejected (``journal.fenced_writes``). When the partition
+        heals, the zombie observes its fence and steps down
+        (:attr:`zombie_stepdowns`); :meth:`recover_repairer` then brings
+        up a successor under the next epoch. Requires a journal and a
+        *shard-bound* repairer (epoch stamping rides the shard view).
+        """
+        if self.journal is None:
+            raise ReproError(
+                "zombie fencing needs a journal; call enable_journal() "
+                "(or builder .with_journal()) first"
+            )
+        if self._repairer_shards.get(id(repairer)) is None:
+            raise ReproError(
+                "zombie fencing needs a shard-bound coordinator; build "
+                "it with make_repairer(name, shard=...)"
+            )
+        self.coordinator_homes[id(repairer)] = self.cluster.node(node_id).id
+
+    def _journal_home(self) -> int:
+        if self.journal_home is not None:
+            return self.journal_home
+        return (
+            self.cluster.clients[0].id
+            if self.cluster.clients
+            else self.cluster.storage_nodes[0].id
+        )
+
+    def _on_partitioned(self, _timeline, event, stalled) -> None:
+        if self.journal is None or not self.coordinator_homes:
+            return
+        home = self._journal_home()
+        for repairer in list(self.repairers):
+            rid = id(repairer)
+            node = self.coordinator_homes.get(rid)
+            if node is None or rid in self._zombies:
+                continue
+            if getattr(repairer, "crashed", False) or not getattr(
+                repairer, "_started", False
+            ):
+                continue
+            if self.cluster.reachable(node, home):
+                continue
+            # The metadata plane lost the coordinator: fence its shard.
+            # The coordinator itself keeps running — it is a zombie, and
+            # the epoch check (not its cooperation) protects the log.
+            shard = self._repairer_shards.get(rid)
+            self.journal.fence(shard=0 if shard is None else shard)
+            self._zombies.add(rid)
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("journal.zombie_fences").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "journal.zombie_fence",
+                    track="journal",
+                    shard=shard,
+                    home=node,
+                )
+
+    def _on_healed(self, _timeline, event) -> None:
+        if not self._zombies:
+            return
+        home = self._journal_home()
+        for rid in list(self._zombies):
+            repairer = next(
+                (r for r in self.repairers if id(r) == rid), None
+            )
+            if repairer is None:
+                self._zombies.discard(rid)
+                continue
+            node = self.coordinator_homes.get(rid)
+            if node is not None and not self.cluster.reachable(node, home):
+                continue  # still cut off by an overlapping partition
+            # Reconnected: the zombie reads its fence and steps down.
+            repairer.crash()
+            self._zombies.discard(rid)
+            self.zombie_stepdowns += 1
+            shard = self._repairer_shards.get(rid)
+            self._coordinator_crash_times.setdefault(
+                shard, self.cluster.sim.now
+            )
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("journal.zombie_stepdowns").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "journal.zombie_stepdown",
+                    track="journal",
+                    shard=shard,
+                )
 
     # -- durability & failover -------------------------------------------------
 
@@ -934,6 +1158,8 @@ class Testbed:
         """
         timeline.on("node_crashed", self._crash_to_repairers)
         timeline.on("coordinator_crashed", self._on_coordinator_crash)
+        timeline.on("partitioned", self._on_partitioned)
+        timeline.on("healed", self._on_healed)
         if self.ledger is not None:
             self.ledger.attach(timeline)
         timeline.arm(
@@ -986,6 +1212,9 @@ class TestbedBuilder:
         self._journal: dict | None = None
         self._timeseries: dict | None = None
         self._admission: dict | None = None
+        self._partitions: dict | None = None
+        self._detector: dict | None = None
+        self._hedging: dict | None = None
         self._slos: list[SLOSpec] = []
 
     # -- knobs ----------------------------------------------------------------
@@ -1129,6 +1358,64 @@ class TestbedBuilder:
         }
         return self
 
+    def with_partitions(
+        self,
+        *,
+        count: int = 1,
+        duration: tuple[float, float] = (2.0, 6.0),
+        group_fraction: tuple[float, float] = (0.2, 0.5),
+        horizon: float | None = None,
+        seed: int | None = None,
+    ) -> "TestbedBuilder":
+        """Schedule seeded partition waves on build (see
+        :meth:`Testbed.enable_partitions`)."""
+        self._partitions = {
+            "count": count,
+            "duration": duration,
+            "group_fraction": group_fraction,
+            "horizon": horizon,
+            "seed": seed,
+        }
+        return self
+
+    def with_failure_detector(
+        self,
+        *,
+        heartbeat_interval: float = 0.5,
+        threshold: float = 3.0,
+        window: int = 8,
+        home: int | None = None,
+        min_heartbeat_capacity: float = 0.05,
+    ) -> "TestbedBuilder":
+        """Start the accrual failure detector on build (see
+        :meth:`Testbed.enable_failure_detector`)."""
+        self._detector = {
+            "heartbeat_interval": heartbeat_interval,
+            "threshold": threshold,
+            "window": window,
+            "home": home,
+            "min_heartbeat_capacity": min_heartbeat_capacity,
+        }
+        return self
+
+    def with_hedged_reads(
+        self,
+        *,
+        series: str = "lat.foreground.p99",
+        multiplier: float = 4.0,
+        min_delay: float = 2.0,
+        fixed_delay: float | None = None,
+    ) -> "TestbedBuilder":
+        """Hedge tail-latency repairs on build (see
+        :meth:`Testbed.enable_hedged_reads`)."""
+        self._hedging = {
+            "series": series,
+            "multiplier": multiplier,
+            "min_delay": min_delay,
+            "fixed_delay": fixed_delay,
+        }
+        return self
+
     def with_slos(self, *specs: SLOSpec) -> "TestbedBuilder":
         """Declare SLOs for :meth:`Testbed.evaluate_slos` (cumulative)."""
         self._slos.extend(specs)
@@ -1159,6 +1446,12 @@ class TestbedBuilder:
             testbed.start_scrubber(**self._scrubber)
         if self._admission is not None:
             testbed.enable_admission_control(**self._admission)
+        if self._detector is not None:
+            testbed.enable_failure_detector(**self._detector)
+        if self._hedging is not None:
+            testbed.enable_hedged_reads(**self._hedging)
+        if self._partitions is not None:
+            testbed.enable_partitions(**self._partitions)
         return testbed
 
 

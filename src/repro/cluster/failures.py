@@ -28,6 +28,17 @@ class FailureInjector:
         #: the baselines' equation selection and ChameleonEC's candidate
         #: machinery alike — automatically re-plans around them.
         self.quarantined: set[ChunkId] = set()
+        #: Optional best-effort distrust oracle (a
+        #: :meth:`repro.monitor.FailureDetector.is_suspected` bound
+        #: method). Unlike quarantine — ground truth about bad bytes —
+        #: suspicion is a *guess* about reachability, so it only narrows
+        #: the helper set when the narrowed set still yields a repair
+        #: equation; otherwise the unfiltered survivors are returned and
+        #: repairability is never affected.
+        self.suspicion = None
+        #: One-shot per-plan exclusions (hedged reads route a backup
+        #: plan around the straggling helper), same best-effort rules.
+        self.excluded: set[int] = set()
 
     def fail_nodes(self, node_ids: list[int]) -> FailureReport:
         """Kill ``node_ids``; returns every chunk that must be repaired."""
@@ -82,14 +93,43 @@ class FailureInjector:
         *every* repair algorithm select an alternate helper set.
         """
         survivors = self.store.survivors(chunk, self.cluster.failed_node_ids())
-        if not self.quarantined:
+        if self.quarantined:
+            stripe = chunk.stripe
+            survivors = {
+                index: node_id
+                for index, node_id in survivors.items()
+                if ChunkId(stripe, index) not in self.quarantined
+            }
+        return self._filter_distrusted(chunk, survivors)
+
+    def _distrusted(self, node_id: int) -> bool:
+        if node_id in self.excluded:
+            return True
+        return self.suspicion is not None and self.suspicion(node_id)
+
+    def _filter_distrusted(
+        self, chunk: ChunkId, survivors: dict[int, int]
+    ) -> dict[int, int]:
+        """Drop suspected/excluded helpers — but only best-effort.
+
+        If distrusting every flagged node would leave no valid repair
+        equation, the unfiltered survivors are returned: a false
+        suspicion must never turn a repairable chunk into a lost one.
+        """
+        if self.suspicion is None and not self.excluded:
             return survivors
-        stripe = chunk.stripe
-        return {
+        trusted = {
             index: node_id
             for index, node_id in survivors.items()
-            if ChunkId(stripe, index) not in self.quarantined
+            if not self._distrusted(node_id)
         }
+        if trusted == survivors:
+            return survivors
+        try:
+            self.store.code.repair_equation(chunk.index, set(trusted))
+        except ReproError:
+            return survivors
+        return trusted
 
     def quarantine(self, chunk: ChunkId) -> bool:
         """Flag ``chunk`` as corrupt; True if it was newly flagged."""
@@ -112,8 +152,14 @@ class FailureInjector:
         distinct nodes, preserving fault tolerance (Section III-A).
         """
         stripe_nodes = self.store.stripes[chunk.stripe].nodes()
-        return [
+        candidates = [
             node_id
             for node_id in self.cluster.alive_storage_ids()
             if node_id not in stripe_nodes
         ]
+        if self.suspicion is None and not self.excluded:
+            return candidates
+        trusted = [n for n in candidates if not self._distrusted(n)]
+        # Best-effort again: with every candidate distrusted, fall back
+        # to the full list rather than refuse to place the repair.
+        return trusted if trusted else candidates

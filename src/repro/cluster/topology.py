@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 from repro.cluster.node import Node, gbps, mbs
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
@@ -109,6 +111,70 @@ class Cluster:
                 )
                 for node in self.clients:
                     self._rack_of[node.id] = client_rack
+        # Active network partitions: id -> {node_id: group}. Nodes not
+        # named by a partition implicitly form group 0, so a partition
+        # listing only the minority side isolates it from "the rest".
+        # Multiple overlapping partitions compose: two nodes are
+        # reachable only if every active cut keeps them together.
+        self._partitions: dict[int, dict[int, int]] = {}
+        self._partition_ids = itertools.count()
+
+    # -- connectivity ---------------------------------------------------------
+
+    @property
+    def partitioned(self) -> bool:
+        """True while at least one network partition is active."""
+        return bool(self._partitions)
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Whether traffic may currently flow between two nodes."""
+        for groups in self._partitions.values():
+            if groups.get(a, 0) != groups.get(b, 0):
+                return False
+        return True
+
+    def apply_partition(self, groups) -> int:
+        """Split the cluster: nodes in different groups cannot exchange
+        traffic until :meth:`heal_partition` removes the cut.
+
+        ``groups`` is an iterable of node-id groups; any node not listed
+        joins implicit group 0. Live transfers crossing the cut are
+        stalled (their in-flight slice is blackholed and re-sent after
+        heal), and new cross-cut slices are refused at launch. Returns a
+        partition id for :meth:`heal_partition`.
+        """
+        mapping: dict[int, int] = {}
+        for gid, members in enumerate(groups, start=1):
+            for node_id in members:
+                self.node(node_id)  # validate
+                if node_id in mapping:
+                    raise SimulationError(
+                        f"node {node_id} appears in two partition groups"
+                    )
+                mapping[node_id] = gid
+        if not mapping:
+            raise SimulationError("a partition needs at least one named node")
+        pid = next(self._partition_ids)
+        self._partitions[pid] = mapping
+        self.transfers.reachability = self.reachable
+        for transfer in self.transfers.live_transfers():
+            if (
+                transfer.src is not None
+                and transfer.dst is not None
+                and not self.reachable(transfer.src, transfer.dst)
+            ):
+                self.transfers.stall(transfer)
+        return pid
+
+    def heal_partition(self, partition_id: int) -> None:
+        """Remove one cut; stalled transfers re-launch (and re-park if a
+        different overlapping partition still separates them)."""
+        if partition_id not in self._partitions:
+            raise SimulationError(f"unknown partition id {partition_id}")
+        del self._partitions[partition_id]
+        if not self._partitions:
+            self.transfers.reachability = None
+        self.transfers.unstall_all()
 
     def node(self, node_id: int) -> Node:
         """Look up any node (storage or client) by id."""
@@ -189,7 +255,10 @@ class Cluster:
             src_id, dst_id, read_disk=read_disk, write_disk=write_disk
         )
         label = name or f"x{src_id}->{dst_id}"
-        return Transfer(label, resources, size, slice_size, tag=tag)
+        transfer = Transfer(label, resources, size, slice_size, tag=tag)
+        transfer.src = src_id
+        transfer.dst = dst_id
+        return transfer
 
     def start(self, transfer: Transfer) -> None:
         """Release a transfer built by :meth:`make_transfer`."""

@@ -107,6 +107,9 @@ class AdmissionController:
         recorder: "TimeseriesRecorder",
         *,
         policy: AIMDPolicy | None = None,
+        scrub_policy: AIMDPolicy | None = None,
+        repair_policy: AIMDPolicy | None = None,
+        repair_deadline: float | None = None,
         baseline_p99: float | None = None,
         calibration_windows: int = 3,
         latency_source: str = "foreground",
@@ -117,14 +120,33 @@ class AdmissionController:
             )
         if calibration_windows < 1:
             raise ReproError("calibration_windows must be at least 1")
+        if repair_deadline is not None and repair_deadline <= 0:
+            raise ReproError("repair_deadline must be positive (or None)")
         self.recorder = recorder
         self.sim = recorder.sim
         self.policy = policy if policy is not None else AIMDPolicy()
+        #: Per-actuator step functions. Defaults fall back to the shared
+        #: ``policy``, which keeps both levels in lockstep — identical to
+        #: the single-level controller. Passing a distinct
+        #: ``scrub_policy`` lets the scrubber (no deadline of its own)
+        #: back off far more aggressively than repair.
+        self.scrub_policy = scrub_policy if scrub_policy is not None else self.policy
+        self.repair_policy = (
+            repair_policy if repair_policy is not None else self.policy
+        )
+        #: Virtual-time deadline by which repair should finish. When
+        #: set, repair's multiplicative backoff is tempered by remaining
+        #: headroom: a breach early in the run throttles repair hard, a
+        #: breach near the deadline barely at all (repair completion is
+        #: an SLO too).
+        self.repair_deadline = repair_deadline
+        self._deadline_start: float | None = None
         self.baseline_p99 = baseline_p99
         self.calibration_windows = calibration_windows
         self.latency_source = latency_source
-        #: Current intensity level in [policy.floor, 1.0].
-        self.level = 1.0
+        #: Per-actuator intensity levels in [policy.floor, 1.0].
+        self.scrub_level = 1.0
+        self.repair_level = 1.0
         self.min_level = 1.0
         self.backoffs = 0
         self.recoveries = 0
@@ -134,6 +156,13 @@ class AdmissionController:
         self._repairers: list[tuple[object, int]] = []
         self._windows_acted = recorder.windows_closed
         self._hook: "PeriodicHook | None" = None
+
+    @property
+    def level(self) -> float:
+        """The controller's overall intensity: the tighter of the two
+        per-actuator levels (identical to both under the default shared
+        policy, preserving the single-level surface)."""
+        return min(self.scrub_level, self.repair_level)
 
     # -- actuators -------------------------------------------------------------
 
@@ -207,16 +236,23 @@ class AdmissionController:
                 )
             return
         inflation = p99 / self.baseline_p99
-        new_level = self.policy.step(self.level, inflation)
+        new_scrub = self.scrub_policy.step(self.scrub_level, inflation)
+        new_repair = self._repair_step(self.repair_level, inflation)
         registry = get_registry()
         if registry.enabled:
             registry.counter("control.windows").inc()
-            registry.gauge("control.level").set(new_level)
-        if new_level == self.level:
+            registry.gauge("control.level").set(min(new_scrub, new_repair))
+        if new_scrub == self.scrub_level and new_repair == self.repair_level:
             return
-        direction = "backoff" if new_level < self.level else "recover"
-        self.level = new_level
-        self.min_level = min(self.min_level, new_level)
+        # One direction per window: any shrink is a backoff (a breach
+        # window was user-visible), otherwise it was a recovery creep.
+        backed_off = (
+            new_scrub < self.scrub_level or new_repair < self.repair_level
+        )
+        direction = "backoff" if backed_off else "recover"
+        self.scrub_level = new_scrub
+        self.repair_level = new_repair
+        self.min_level = min(self.min_level, self.level)
         if direction == "backoff":
             self.backoffs += 1
         else:
@@ -229,10 +265,57 @@ class AdmissionController:
                 f"control.{direction}",
                 track="control",
                 inflation=inflation,
-                level=new_level,
+                level=self.level,
+                scrub_level=new_scrub,
+                repair_level=new_repair,
                 window=closed,
             )
         self._apply()
+
+    def _repair_step(self, level: float, inflation: float) -> float:
+        """Repair's AIMD step, with deadline-headroom-tempered backoff.
+
+        Without a ``repair_deadline`` this is exactly
+        ``repair_policy.step``. With one, the multiplicative backoff is
+        lifted toward 1.0 as headroom shrinks — at half the headroom a
+        0.5 backoff becomes 0.75, at zero headroom repair is never
+        backed off at all — because finishing the repair before the
+        deadline is itself an SLO the controller must not sacrifice.
+        """
+        pol = self.repair_policy
+        if inflation > pol.high_water:
+            backoff = pol.backoff
+            headroom = self._deadline_headroom()
+            if headroom is not None:
+                backoff = 1.0 - (1.0 - backoff) * headroom
+            return max(pol.floor, level * backoff)
+        if inflation < pol.low_water:
+            return min(1.0, level + pol.recover)
+        return level
+
+    def _deadline_headroom(self) -> float | None:
+        """Remaining fraction of the repair-deadline budget, in [0, 1].
+
+        Anchored at the earliest attached repairer's start time (the
+        controller's first breach otherwise), so the fraction measures
+        how much of the actual repair run remains, not wall-clock since
+        time zero.
+        """
+        if self.repair_deadline is None:
+            return None
+        if self._deadline_start is None:
+            starts = [
+                r.meter.started_at
+                for r, _ in self._repairers
+                if getattr(r, "meter", None) is not None
+                and r.meter.started_at is not None
+            ]
+            self._deadline_start = min(starts) if starts else self.sim.now
+        span = self.repair_deadline - self._deadline_start
+        if span <= 0:
+            return 0.0
+        remaining = (self.repair_deadline - self.sim.now) / span
+        return min(1.0, max(0.0, remaining))
 
     # -- actuation -------------------------------------------------------------
 
@@ -243,14 +326,14 @@ class AdmissionController:
             self._apply_repairer(repairer, base)
 
     def _apply_scrubber(self, scrubber: "Scrubber", base: float) -> None:
-        target = base * self.level
+        target = base * self.scrub_level
         if scrubber.rate != target:
             scrubber.set_rate(target)
 
     def _apply_repairer(self, repairer, base: int) -> None:
         if getattr(repairer, "crashed", False):
             return  # a dead coordinator has no knobs; recovery re-attaches
-        target = max(1, int(round(base * self.level)))
+        target = max(1, int(round(base * self.repair_level)))
         current = getattr(repairer, "concurrency", None)
         if current is None:
             current = repairer.max_inflight

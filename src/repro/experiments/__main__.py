@@ -217,6 +217,26 @@ def _exp19(scale, seed, out="BENCH_shard.json"):
     )]
 
 
+def _exp20(scale, seed, out="BENCH_partition.json"):
+    from repro.experiments.exp20_partition import (
+        HEADERS,
+        rows,
+        run_exp20,
+        write_bench,
+    )
+
+    results = run_exp20(scale=scale, seed=seed)
+    payload = write_bench(results, out, scale=scale, seed=seed)
+    gate = "PASS" if payload["passed"] else "FAIL"
+    zombie = payload["zombie"]
+    return [(
+        f"Exp#20: partition-tolerant repair — {gate} "
+        f"(tail_reduced={payload['tail_reduced']}, "
+        f"fenced {zombie['fenced_writes']} stale writes, verdicts in {out})",
+        HEADERS, rows(results),
+    )]
+
+
 def _fig2(scale, seed):
     from repro.experiments.figures import fig2_rows, run_fig2
 
@@ -256,7 +276,7 @@ EXPERIMENTS = {
     "exp05": _exp05, "exp06": _exp06, "exp07": _exp07, "exp08": _exp08,
     "exp09": _exp09, "exp10": _exp10, "exp11": _exp11, "exp12": _exp12,
     "exp13": _exp13, "exp14": _exp14, "exp15": _exp15, "exp16": _exp16,
-    "exp17": _exp17, "exp18": _exp18, "exp19": _exp19,
+    "exp17": _exp17, "exp18": _exp18, "exp19": _exp19, "exp20": _exp20,
 }
 
 #: Experiments that write a machine-readable verdict document (--out).
@@ -264,6 +284,7 @@ BENCH_EXPERIMENTS = {
     "exp17": "BENCH_chaos.json",
     "exp18": "BENCH_adaptive.json",
     "exp19": "BENCH_shard.json",
+    "exp20": "BENCH_partition.json",
 }
 
 
@@ -284,8 +305,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="print a run report (per-phase breakdown, slowest "
                              "tasks, scheduler decision log)")
     parser.add_argument("--out", metavar="PATH", default=None,
-                        help="exp17/exp18/exp19 only: where to write the "
-                             "machine-readable verdict document")
+                        help="exp17/exp18/exp19/exp20 only: where to write "
+                             "the machine-readable verdict document")
     args = parser.parse_args(argv)
 
     if args.trace is not None:

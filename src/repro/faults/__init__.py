@@ -6,8 +6,9 @@ Exp#6). This subsystem makes such churn injectable and deterministic:
 
 * :class:`FaultTimeline` — a seedable schedule of fault events (node
   crashes, disk/NIC degradation with recovery, transient stragglers,
-  single-flow interruptions, silent payload corruption and latent
-  sector errors) executed against the simulator's virtual clock;
+  single-flow interruptions, network partitions with automatic heal,
+  silent payload corruption and latent sector errors) executed against
+  the simulator's virtual clock;
 * :class:`ToleranceExceeded` — the graceful outcome reported when a
   crash exhausts the erasure code's fault tolerance (instead of an
   unhandled exception mid-simulation).
@@ -28,6 +29,7 @@ from repro.faults.timeline import (
     FaultTimeline,
     FlowInterruption,
     LatentSectorError,
+    NetworkPartition,
     NodeCrash,
     SilentCorruption,
     TransientStraggler,
@@ -40,6 +42,7 @@ __all__ = [
     "FaultTimeline",
     "FlowInterruption",
     "LatentSectorError",
+    "NetworkPartition",
     "NodeCrash",
     "SilentCorruption",
     "ToleranceExceeded",

@@ -30,7 +30,15 @@ Event kinds:
   repair coordinator is torn down mid-run (all its in-flight plan
   transfers cancelled), leaving recovery to whatever durable state it
   journalled (see :mod:`repro.journal` and
-  :meth:`repro.api.Testbed.recover_repairer`).
+  :meth:`repro.api.Testbed.recover_repairer`);
+* :class:`NetworkPartition` — the cluster splits into connectivity
+  groups for a duration: every node stays *alive*, but traffic between
+  groups is blackholed. Live transfers crossing the cut stall (their
+  in-flight slice is re-sent after heal), new cross-cut slices are
+  refused, and heal restores connectivity and releases the stalled
+  transfers. The only fault kind where timeout is the wrong detector —
+  see :class:`repro.monitor.FailureDetector` for the accrual detector
+  that suspects unreachable helpers before ``chunk_timeout`` fires.
 
 Overlapping degradations compose multiplicatively and restore exactly:
 the timeline tracks each resource's base capacity and the stack of
@@ -146,6 +154,21 @@ class CoordinatorCrash(FaultEvent):
     shard: int | None = None
 
 
+@dataclass(frozen=True)
+class NetworkPartition(FaultEvent):
+    """The cluster splits into ``groups`` for ``duration`` seconds.
+
+    ``groups`` is a tuple of node-id tuples; any node not named joins
+    implicit group 0, so a single-group partition isolates that group
+    from the rest of the cluster. Nodes stay alive and keep serving
+    traffic *within* their side of the cut; only cross-group movement
+    stalls. The heal is scheduled automatically at ``at + duration``.
+    """
+
+    groups: tuple[tuple[int, ...], ...] = ()
+    duration: float = 1.0
+
+
 @dataclass
 class _Throttle:
     """Bookkeeping for one resource under one or more active faults."""
@@ -172,6 +195,8 @@ class FaultTimeline(HookEmitter):
         "corrupted",
         "sector_error",
         "coordinator_crashed",
+        "partitioned",
+        "healed",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -275,6 +300,84 @@ class FaultTimeline(HookEmitter):
         if shard is not None and shard < 0:
             raise SimulationError("shard id must be >= 0")
         self._add(CoordinatorCrash(at=self._check_at(at), shard=shard))
+        return self
+
+    def partition(
+        self, at: float, groups, *, duration: float
+    ) -> "FaultTimeline":
+        """Schedule a network partition healing after ``duration``.
+
+        ``groups`` is an iterable of node-id groups (e.g. ``[[3, 4]]``
+        isolates nodes 3 and 4 from everyone else; ``[[0, 1], [2, 3]]``
+        makes a three-way split with the unlisted rest). A node may
+        appear in at most one group.
+        """
+        if duration <= 0:
+            raise SimulationError("partition duration must be positive")
+        normalized = tuple(
+            tuple(int(n) for n in members) for members in groups
+        )
+        if not normalized or not any(normalized):
+            raise SimulationError("a partition needs at least one named node")
+        seen: set[int] = set()
+        for members in normalized:
+            for node_id in members:
+                if node_id in seen:
+                    raise SimulationError(
+                        f"node {node_id} appears in two partition groups"
+                    )
+                seen.add(node_id)
+        self._add(
+            NetworkPartition(
+                at=self._check_at(at), groups=normalized, duration=duration
+            )
+        )
+        return self
+
+    def partitions(
+        self,
+        *,
+        nodes: list[int],
+        horizon: float,
+        count: int = 1,
+        duration: tuple[float, float] = (2.0, 6.0),
+        group_fraction: tuple[float, float] = (0.2, 0.5),
+    ) -> "FaultTimeline":
+        """Generate seeded partition waves over ``[0, horizon)``.
+
+        Each wave isolates a random ``group_fraction`` slice of
+        ``nodes`` from the rest of the cluster for a random duration —
+        the repeated-partition regime that composes with
+        :meth:`churn` and :meth:`fluctuate` on the same timeline. Two
+        timelines with equal seeds and equal calls build identical
+        waves.
+        """
+        if horizon <= 0:
+            raise SimulationError("partition horizon must be positive")
+        if count < 1:
+            raise SimulationError("need at least one partition wave")
+        if len(nodes) < 2:
+            raise SimulationError("partitions need at least two candidate nodes")
+        lo, hi = duration
+        if not 0 < lo <= hi:
+            raise SimulationError("duration bounds must satisfy 0 < low <= high")
+        flo, fhi = group_fraction
+        if not 0 < flo <= fhi < 1:
+            raise SimulationError(
+                "group_fraction bounds must satisfy 0 < low <= high < 1"
+            )
+        rng = self.rng
+        for _ in range(count):
+            onset = float(rng.uniform(0, horizon))
+            fraction = float(rng.uniform(flo, fhi))
+            size = int(round(fraction * len(nodes)))
+            size = max(1, min(size, len(nodes) - 1))
+            picks = rng.choice(np.asarray(nodes), size=size, replace=False)
+            self.partition(
+                onset,
+                [sorted(int(n) for n in picks)],
+                duration=float(rng.uniform(lo, hi)),
+            )
         return self
 
     def rot(
@@ -523,6 +626,8 @@ class FaultTimeline(HookEmitter):
             self._run_sector_error(event)
         elif isinstance(event, CoordinatorCrash):
             self._run_coordinator_crash(event)
+        elif isinstance(event, NetworkPartition):
+            self._run_partition(event)
         else:  # pragma: no cover - the event set is closed
             raise SimulationError(f"unknown fault event {event!r}")
 
@@ -728,6 +833,45 @@ class FaultTimeline(HookEmitter):
             registry.counter("faults.coordinator_crashes").inc()
         self.emit("fault", self, event=event)
         self.emit("coordinator_crashed", self, event=event)
+
+    def _run_partition(self, event: NetworkPartition) -> None:
+        assert self.cluster is not None
+        pid = self.cluster.apply_partition(event.groups)
+        stalled = [
+            t for t in self.cluster.transfers.live_transfers() if t.stalled
+        ]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.partition",
+                track="faults",
+                groups=[list(g) for g in event.groups],
+                duration=event.duration,
+                stalled=len(stalled),
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.partitions").inc()
+        self.emit("fault", self, event=event)
+        self.emit("partitioned", self, event=event, stalled=stalled)
+        self.cluster.sim.schedule(
+            event.duration, self._heal_partition, pid, event
+        )
+
+    def _heal_partition(self, pid: int, event: NetworkPartition) -> None:
+        assert self.cluster is not None
+        self.cluster.heal_partition(pid)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "fault.partition.healed",
+                track="faults",
+                groups=[list(g) for g in event.groups],
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("faults.partition_heals").inc()
+        self.emit("healed", self, event=event)
 
     # -- helpers --------------------------------------------------------------
 

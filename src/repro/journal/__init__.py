@@ -42,7 +42,7 @@ from repro.journal.records import (
     Lease,
 )
 from repro.journal.recovery import RecoveryPlan, reconcile
-from repro.journal.wal import Journal, JournalShard
+from repro.journal.wal import Journal, JournalShard, audit_fenced_writes
 
 __all__ = [
     "ATTEMPT_FAILED",
@@ -62,5 +62,6 @@ __all__ = [
     "JournalState",
     "Lease",
     "RecoveryPlan",
+    "audit_fenced_writes",
     "reconcile",
 ]

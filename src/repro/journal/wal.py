@@ -17,6 +17,16 @@ Design notes:
   fences the dead epoch (a ``coordinator_crash`` record), which voids
   its leases; leases also lapse on their own after ``lease_duration``
   virtual seconds, covering the no-failure-detector case.
+* **Zombie write rejection.** A coordinator that is isolated (not
+  crashed) by a network partition keeps running; if its shard is
+  fenced while it is away, its write-throughs must not land after the
+  partition heals. :class:`JournalShard` captures its incarnation
+  epoch at ``coordinator_started()`` and stamps every subsequent
+  write; the journal drops writes whose epoch is older than the
+  shard's issued epoch, or equal but fenced, counting them in
+  :attr:`Journal.fenced_writes` (``journal.fenced_writes`` counter).
+  Raw unsharded writes carry no epoch and are never rejected — the
+  pre-partition surface is unchanged.
 * **Compacting checkpoints.** ``checkpoint()`` snapshots the folded
   state and drops every earlier record, bounding replay work; with
   ``checkpoint_interval`` set the journal checkpoints itself every N
@@ -75,6 +85,9 @@ class Journal:
         #: Records dropped by compaction (they live on inside the last
         #: checkpoint's snapshot).
         self.compacted_records = 0
+        #: Write-throughs rejected because their incarnation epoch was
+        #: stale or fenced (a zombie coordinator wrote after heal).
+        self.fenced_writes = 0
         self._seq = 0
         self._since_checkpoint = 0
 
@@ -96,6 +109,38 @@ class Journal:
 
     def _now(self) -> float:
         return self.sim.now if self.sim is not None else 0.0
+
+    # -- zombie fencing -------------------------------------------------------
+
+    def _reject_stale(self, kind: str, shard: int, epoch: int | None) -> bool:
+        """True when a write from a fenced/stale incarnation must drop.
+
+        ``epoch`` is the writer's captured incarnation epoch (None =
+        epoch-unaware caller, never rejected). A write is stale when a
+        newer incarnation already opened the shard, or the writer's own
+        epoch was fenced — either way the writer is a zombie and its
+        scheduling decisions must not reach the durable log.
+        """
+        if epoch is None:
+            return False
+        current = self.epoch_of(shard)
+        if epoch > current or (epoch == current and not self.state.fenced_of(shard)):
+            return False
+        self.fenced_writes += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("journal.fenced_writes").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "journal.fenced_write",
+                track="journal",
+                kind=kind,
+                shard=shard,
+                epoch=epoch,
+                current=current,
+            )
+        return True
 
     # -- the append path ------------------------------------------------------
 
@@ -155,7 +200,11 @@ class Journal:
                 shard=shard,
             )
 
-    def chunk_enqueued(self, chunk: ChunkId, *, shard: int = 0) -> None:
+    def chunk_enqueued(
+        self, chunk: ChunkId, *, shard: int = 0, epoch: int | None = None
+    ) -> None:
+        if self._reject_stale(ENQUEUED, shard, epoch):
+            return
         self.append(ENQUEUED, chunk, shard=shard)
 
     def plan_chosen(
@@ -166,7 +215,10 @@ class Journal:
         sources: list[int],
         attempt: int,
         shard: int = 0,
+        epoch: int | None = None,
     ) -> None:
+        if self._reject_stale(PLAN_CHOSEN, shard, epoch):
+            return
         self.append(
             PLAN_CHOSEN,
             chunk,
@@ -177,19 +229,41 @@ class Journal:
             lease_expires=self._now() + self.lease_duration,
         )
 
-    def reads_issued(self, chunk: ChunkId, *, transfers: int, shard: int = 0) -> None:
+    def reads_issued(
+        self, chunk: ChunkId, *, transfers: int, shard: int = 0,
+        epoch: int | None = None,
+    ) -> None:
+        if self._reject_stale(READS_ISSUED, shard, epoch):
+            return
         self.append(READS_ISSUED, chunk, shard=shard, transfers=transfers)
 
-    def attempt_failed(self, chunk: ChunkId, reason: str, *, shard: int = 0) -> None:
+    def attempt_failed(
+        self, chunk: ChunkId, reason: str, *, shard: int = 0,
+        epoch: int | None = None,
+    ) -> None:
+        if self._reject_stale(ATTEMPT_FAILED, shard, epoch):
+            return
         self.append(ATTEMPT_FAILED, chunk, shard=shard, reason=reason)
 
-    def decode_verified(self, chunk: ChunkId, *, shard: int = 0) -> None:
+    def decode_verified(
+        self, chunk: ChunkId, *, shard: int = 0, epoch: int | None = None
+    ) -> None:
+        if self._reject_stale(DECODE_VERIFIED, shard, epoch):
+            return
         self.append(DECODE_VERIFIED, chunk, shard=shard)
 
-    def writeback_committed(self, chunk: ChunkId, *, shard: int = 0) -> None:
+    def writeback_committed(
+        self, chunk: ChunkId, *, shard: int = 0, epoch: int | None = None
+    ) -> None:
+        if self._reject_stale(COMMITTED, shard, epoch):
+            return
         self.append(COMMITTED, chunk, shard=shard)
 
-    def chunk_lost(self, chunk: ChunkId, *, shard: int = 0) -> None:
+    def chunk_lost(
+        self, chunk: ChunkId, *, shard: int = 0, epoch: int | None = None
+    ) -> None:
+        if self._reject_stale(LOST, shard, epoch):
+            return
         self.append(LOST, chunk, shard=shard)
 
     # -- shard views -----------------------------------------------------------
@@ -304,15 +378,25 @@ class JournalShard:
     pre-bound, so a repairer built against the unsharded `Journal` API
     works against a partition unmodified. All shards append to the one
     shared log; only the epoch/fence/lease bookkeeping is partitioned.
+
+    The view also captures its *incarnation epoch* when the repairer
+    calls :meth:`coordinator_started`, stamping every later write with
+    it — the journal rejects writes from fenced/stale incarnations, so
+    a zombie coordinator (isolated by a partition, fenced while away)
+    cannot corrupt the log after the partition heals.
     """
 
-    __slots__ = ("journal", "shard")
+    __slots__ = ("journal", "shard", "incarnation")
 
     def __init__(self, journal: Journal, shard: int) -> None:
         if shard < 0:
             raise SimulationError("shard id must be >= 0")
         self.journal = journal
         self.shard = shard
+        #: Epoch this view's coordinator opened (None until started;
+        #: None-epoch writes bypass the zombie check, preserving the
+        #: pre-partition surface for views that never start).
+        self.incarnation: int | None = None
 
     # The repairers read these for bookkeeping / invariant checks.
 
@@ -331,13 +415,16 @@ class JournalShard:
     # Write-through surface, shard pre-bound.
 
     def coordinator_started(self) -> int:
-        return self.journal.coordinator_started(shard=self.shard)
+        self.incarnation = self.journal.coordinator_started(shard=self.shard)
+        return self.incarnation
 
     def fence(self) -> None:
         self.journal.fence(shard=self.shard)
 
     def chunk_enqueued(self, chunk: ChunkId) -> None:
-        self.journal.chunk_enqueued(chunk, shard=self.shard)
+        self.journal.chunk_enqueued(
+            chunk, shard=self.shard, epoch=self.incarnation
+        )
 
     def plan_chosen(
         self, chunk: ChunkId, *, destination: int, sources: list[int], attempt: int
@@ -348,22 +435,52 @@ class JournalShard:
             sources=sources,
             attempt=attempt,
             shard=self.shard,
+            epoch=self.incarnation,
         )
 
     def reads_issued(self, chunk: ChunkId, *, transfers: int) -> None:
-        self.journal.reads_issued(chunk, transfers=transfers, shard=self.shard)
+        self.journal.reads_issued(
+            chunk, transfers=transfers, shard=self.shard, epoch=self.incarnation
+        )
 
     def attempt_failed(self, chunk: ChunkId, reason: str) -> None:
-        self.journal.attempt_failed(chunk, reason, shard=self.shard)
+        self.journal.attempt_failed(
+            chunk, reason, shard=self.shard, epoch=self.incarnation
+        )
 
     def decode_verified(self, chunk: ChunkId) -> None:
-        self.journal.decode_verified(chunk, shard=self.shard)
+        self.journal.decode_verified(
+            chunk, shard=self.shard, epoch=self.incarnation
+        )
 
     def writeback_committed(self, chunk: ChunkId) -> None:
-        self.journal.writeback_committed(chunk, shard=self.shard)
+        self.journal.writeback_committed(
+            chunk, shard=self.shard, epoch=self.incarnation
+        )
 
     def chunk_lost(self, chunk: ChunkId) -> None:
-        self.journal.chunk_lost(chunk, shard=self.shard)
+        self.journal.chunk_lost(
+            chunk, shard=self.shard, epoch=self.incarnation
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"JournalShard(shard={self.shard}, journal={self.journal!r})"
+
+
+def audit_fenced_writes(journal: Journal) -> list[JournalRecord]:
+    """Chunk records that landed while their shard was fenced.
+
+    Replays the (compacted) log through a fresh :class:`JournalState`
+    and flags every chunk-carrying record appended between a shard's
+    ``coordinator_crash`` and its next ``coordinator_start`` — exactly
+    the window in which only a zombie could have written. With zombie
+    rejection working, the result is always empty; experiments assert
+    that as the "zero accepted stale writes" invariant.
+    """
+    state = JournalState()
+    violations: list[JournalRecord] = []
+    for record in journal.records:
+        if record.chunk is not None and state.fenced_of(record.shard):
+            violations.append(record)
+        state.apply(record)
+    return violations

@@ -1,6 +1,12 @@
-"""Bandwidth and repair-progress monitoring."""
+"""Bandwidth, reachability, and repair-progress monitoring."""
 
 from repro.monitor.bandwidth import BandwidthMonitor
+from repro.monitor.failure_detector import FailureDetector
 from repro.monitor.progress import ProgressTracker, TrackedTask
 
-__all__ = ["BandwidthMonitor", "ProgressTracker", "TrackedTask"]
+__all__ = [
+    "BandwidthMonitor",
+    "FailureDetector",
+    "ProgressTracker",
+    "TrackedTask",
+]

@@ -17,6 +17,7 @@ from repro.repair.degraded import (
     run_degraded_read,
 )
 from repro.repair.executor import execute_butterfly_repair, execute_plan
+from repro.repair.hedging import HedgePolicy
 from repro.repair.instance import PlanInstance
 from repro.repair.plan import PlanSource, RepairPlan
 from repro.repair.repairboost import RepairBoost
@@ -27,6 +28,7 @@ __all__ = [
     "DataPlane",
     "DegradedRead",
     "ECPipe",
+    "HedgePolicy",
     "PPR",
     "degraded_read_plan",
     "run_degraded_read",

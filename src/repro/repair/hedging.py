@@ -1,0 +1,66 @@
+"""Hedged repair reads: bound the straggler/partition tail.
+
+The classic tail-at-scale defence: when an in-flight chunk repair has
+run longer than a *hedge delay*, launch one backup plan built around
+the slowest helper and let the two race — first complete wins, the
+loser is cancelled. Because the hedge fires only for repairs already
+deep in the latency tail, the extra load is a small fraction of total
+repair traffic (nothing like doubling it), yet a repair stuck behind a
+partitioned or straggling helper finishes at backup-plan speed instead
+of waiting out ``chunk_timeout`` and a retry backoff.
+
+The delay is not a constant: :class:`HedgePolicy` derives it from the
+live latency telemetry (the windowed ``lat.*`` p99 series recorded by
+:class:`repro.obs.timeseries.TimeseriesRecorder`), scaled by
+``multiplier`` and floored by ``min_delay`` — so a calm cluster hedges
+lazily and a hot one hedges sooner, tracking the actual foreground
+tail. ``fixed_delay`` pins the delay for experiments that want an
+exact knob.
+
+EC correctness note: a backup *plan* (not a single substituted source)
+is raced because replacing one helper in a Reed-Solomon equation
+changes every decoding coefficient — the executed plan's sources must
+always form a valid equation, so the hedge builds a complete fresh
+plan via the normal planner with the slow helper excluded
+(:attr:`repro.cluster.failures.FailureInjector.excluded`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class HedgePolicy:
+    """Derives the hedge delay for repair reads from live telemetry."""
+
+    def __init__(
+        self,
+        *,
+        recorder=None,
+        series: str = "lat.foreground.p99",
+        multiplier: float = 4.0,
+        min_delay: float = 2.0,
+        fixed_delay: float | None = None,
+    ) -> None:
+        if multiplier <= 0:
+            raise SimulationError("hedge multiplier must be positive")
+        if min_delay <= 0:
+            raise SimulationError("hedge min_delay must be positive")
+        if fixed_delay is not None and fixed_delay <= 0:
+            raise SimulationError("hedge fixed_delay must be positive (or None)")
+        #: A started :class:`~repro.obs.timeseries.TimeseriesRecorder`
+        #: (or None: the policy falls back to ``min_delay``).
+        self.recorder = recorder
+        self.series = series
+        self.multiplier = float(multiplier)
+        self.min_delay = float(min_delay)
+        self.fixed_delay = fixed_delay
+
+    def delay(self) -> float:
+        """Seconds an in-flight repair may run before a backup launches."""
+        if self.fixed_delay is not None:
+            return self.fixed_delay
+        p99 = 0.0
+        if self.recorder is not None:
+            p99 = self.recorder.latest(self.series, 0.0)
+        return max(self.min_delay, self.multiplier * p99)

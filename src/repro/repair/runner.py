@@ -27,6 +27,8 @@ transfers die) and every pending timer fires into a no-op.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cluster.failures import FailureInjector
 from repro.cluster.stripes import ChunkId, StripeStore
 from repro.cluster.topology import Cluster
@@ -73,7 +75,10 @@ class RepairRunner(HookEmitter):
         max_retries: int = 3,
         retry_backoff: float = 0.5,
         max_backoff: float | None = None,
+        retry_jitter: float = 0.0,
+        jitter_seed: int = 0,
         chunk_timeout: float | None = None,
+        hedge=None,
         journal=None,
     ) -> None:
         if concurrency < 1:
@@ -84,6 +89,8 @@ class RepairRunner(HookEmitter):
             raise SchedulingError("retry_backoff must be positive")
         if max_backoff is not None and max_backoff <= 0:
             raise SchedulingError("max_backoff must be positive (or None)")
+        if not 0 <= retry_jitter < 1:
+            raise SchedulingError("retry_jitter must lie in [0, 1)")
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise SchedulingError("chunk_timeout must be positive")
         self.cluster = cluster
@@ -100,7 +107,20 @@ class RepairRunner(HookEmitter):
         #: Without it, a high-attempt chunk's backoff can exceed the
         #: chunk deadline and effectively park the repair.
         self.max_backoff = max_backoff
+        #: Seeded symmetric jitter fraction on the retry backoff
+        #: (delay *= 1 ± U(0, retry_jitter), still capped by
+        #: ``max_backoff``). Desynchronises the retry storm after a mass
+        #: failure; 0 disables it and draws nothing from the RNG, so
+        #: disabled runs are byte-identical to pre-jitter behaviour.
+        self.retry_jitter = retry_jitter
+        self._jitter_rng = (
+            np.random.default_rng(jitter_seed) if retry_jitter > 0 else None
+        )
         self.chunk_timeout = chunk_timeout
+        #: Optional :class:`repro.repair.hedging.HedgePolicy`: an
+        #: in-flight chunk running past the hedge delay races a backup
+        #: plan built around its slowest helper (None = hedging off).
+        self.hedge = hedge
         #: Optional :class:`repro.journal.Journal` written through at
         #: every state transition (None = durability off).
         self.journal = journal
@@ -113,6 +133,11 @@ class RepairRunner(HookEmitter):
         self.in_flight: dict[ChunkId, PlanInstance] = {}
         self.completed: list[ChunkId] = []
         self.lost: list[ChunkId] = []
+        #: chunk -> live backup instance racing the primary.
+        self._hedges: dict[ChunkId, PlanInstance] = {}
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self.suspect_replans = 0
         self.retries = 0
         self.tolerance_exceeded: ToleranceExceeded | None = None
         self._attempts: dict[ChunkId, int] = {}
@@ -222,6 +247,9 @@ class RepairRunner(HookEmitter):
         self._crashed = True
         for instance in list(self.in_flight.values()):
             instance.cancel()
+        for backup in list(self._hedges.values()):
+            backup.cancel()
+        self._hedges.clear()
         self.in_flight.clear()
         self.pending.clear()
         self._retry_wait.clear()
@@ -298,6 +326,160 @@ class RepairRunner(HookEmitter):
             self.cluster.sim.schedule(
                 self.chunk_timeout, self._check_timeout, chunk, instance
             )
+        if self.hedge is not None:
+            self.cluster.sim.schedule(
+                self.hedge.delay(), self._maybe_hedge, chunk, instance
+            )
+
+    # -- hedged reads ------------------------------------------------------------
+
+    def _slowest_helper(self, instance: PlanInstance) -> int | None:
+        """The uploader making the least relative progress (ties: lowest id)."""
+        slowest, worst = None, None
+        for node_id in sorted(instance.uploads):
+            transfer = instance.uploads[node_id]
+            if transfer.done:
+                continue
+            fraction = transfer.bytes_completed / transfer.size
+            if worst is None or fraction < worst:
+                slowest, worst = node_id, fraction
+        return slowest
+
+    def _maybe_hedge(self, chunk: ChunkId, instance: PlanInstance) -> None:
+        """Hedge-delay watchdog: race a backup plan against a slow repair."""
+        if self._crashed or self.hedge is None:
+            return
+        if self.in_flight.get(chunk) is not instance or instance.done:
+            return
+        if chunk in self._hedges:
+            return
+        slow = self._slowest_helper(instance)
+        if slow is None:
+            return
+        self.injector.excluded.add(slow)
+        try:
+            plan = self.algorithm.make_plan(chunk, self.store.code, self.injector)
+        except ReproError:
+            return
+        finally:
+            self.injector.excluded.discard(slow)
+        same_sources = [s.node_id for s in plan.sources] == [
+            s.node_id for s in instance.plan.sources
+        ]
+        if same_sources and plan.destination == instance.plan.destination:
+            # The planner found nothing better; hedging the identical
+            # plan would only double the load it is meant to avoid.
+            return
+        self.store.relocate(chunk, plan.destination)
+        if self.journal is not None:
+            self.journal.plan_chosen(
+                chunk,
+                destination=plan.destination,
+                sources=[s.node_id for s in plan.sources],
+                attempt=self._attempts.get(chunk, 1),
+            )
+        backup = PlanInstance(
+            self.cluster,
+            plan,
+            chunk_size=self.chunk_size,
+            slice_size=self.slice_size,
+            final_write=self.final_write,
+            on_complete=lambda inst, c=chunk: self._hedge_done(c, inst),
+            on_failed=lambda inst, reason, c=chunk: self._hedge_failed(
+                c, inst, reason
+            ),
+        )
+        self._hedges[chunk] = backup
+        self.hedges_launched += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.hedges.launched").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "repair.hedge",
+                track="scheduler",
+                chunk=str(chunk),
+                excluded=slow,
+                destination=plan.destination,
+            )
+        backup.start()
+        if self.chunk_timeout is not None:
+            self.cluster.sim.schedule(
+                self.chunk_timeout, self._check_hedge_timeout, chunk, backup
+            )
+
+    def _check_hedge_timeout(self, chunk: ChunkId, backup: PlanInstance) -> None:
+        if self._crashed or self._hedges.get(chunk) is not backup or backup.done:
+            return
+        backup.fail("hedged read timed out")
+
+    def _hedge_done(self, chunk: ChunkId, backup: PlanInstance) -> None:
+        """The backup won the race: it becomes the chunk's repair."""
+        if self._crashed or self._hedges.get(chunk) is not backup:
+            return
+        del self._hedges[chunk]
+        primary = self.in_flight.get(chunk)
+        if primary is None or primary.done:
+            return
+        primary.cancel()
+        self.in_flight[chunk] = backup
+        self.hedges_won += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("repair.hedges.won").inc()
+        self._chunk_done(chunk, backup)
+
+    def _hedge_failed(
+        self, chunk: ChunkId, backup: PlanInstance, reason: str
+    ) -> None:
+        """A failed backup is dropped silently: the primary still runs
+        and the normal retry machinery covers its failure."""
+        if self._hedges.get(chunk) is backup:
+            del self._hedges[chunk]
+            primary = self.in_flight.get(chunk)
+            if primary is not None:
+                self.store.relocate(chunk, primary.plan.destination)
+
+    def _cancel_hedge(self, chunk: ChunkId, winner: PlanInstance | None) -> None:
+        """Drop the live backup (the primary finished or failed first)."""
+        backup = self._hedges.pop(chunk, None)
+        if backup is None or backup is winner:
+            return
+        backup.cancel()
+        if winner is not None:
+            self.store.relocate(chunk, winner.plan.destination)
+
+    # -- suspicion ---------------------------------------------------------------
+
+    def helper_suspected(self, node_id: int) -> int:
+        """Fail in-flight repairs touching a suspected node (re-plan early).
+
+        Called by the testbed when the failure detector raises a
+        suspicion: instead of waiting for ``chunk_timeout`` to expire,
+        every in-flight instance using the suspect is failed now, which
+        routes it through the normal retry machinery — and the planner's
+        suspicion filter keeps the suspect out of the fresh plan.
+        Returns how many instances were failed.
+        """
+        if self._crashed:
+            return 0
+        failed = 0
+        for chunk in list(self.in_flight):
+            instance = self.in_flight.get(chunk)
+            if (
+                instance is not None
+                and not instance.done
+                and instance.uses_node(node_id)
+            ):
+                instance.fail(f"helper node {node_id} suspected")
+                failed += 1
+        self.suspect_replans += failed
+        if failed:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("repair.suspect_replans").inc(failed)
+        return failed
 
     # -- recovery ----------------------------------------------------------------
 
@@ -327,6 +509,9 @@ class RepairRunner(HookEmitter):
         if self.in_flight.get(chunk) is not instance:
             return
         self.in_flight.pop(chunk, None)
+        # A failed primary takes its backup down with it: the retry
+        # relaunches from a clean slate (and relocates fresh metadata).
+        self._cancel_hedge(chunk, None)
         self._stripes_busy.discard(chunk.stripe)
         if self.journal is not None:
             self.journal.attempt_failed(chunk, reason)
@@ -343,6 +528,10 @@ class RepairRunner(HookEmitter):
             self._mark_lost(chunk)
         else:
             delay = self.retry_backoff * 2 ** (self._attempts.get(chunk, 1) - 1)
+            if self._jitter_rng is not None:
+                delay *= 1.0 + self.retry_jitter * float(
+                    self._jitter_rng.uniform(-1.0, 1.0)
+                )
             if self.max_backoff is not None:
                 delay = min(delay, self.max_backoff)
             self._retry_wait.add(chunk)
@@ -403,6 +592,7 @@ class RepairRunner(HookEmitter):
     def _chunk_done(self, chunk: ChunkId, instance: PlanInstance) -> None:
         if self._crashed:
             return
+        self._cancel_hedge(chunk, instance)
         self.in_flight.pop(chunk, None)
         self._stripes_busy.discard(chunk.stripe)
         self.completed.append(chunk)

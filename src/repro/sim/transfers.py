@@ -61,7 +61,13 @@ class Transfer:
         self.failed = False
         self.failure_reason: str | None = None
         self.paused = False
+        self.stalled = False
         self.released = False
+        # Endpoint node ids, set by ``Cluster.make_transfer``. Transfers
+        # built without endpoints (e.g. a local disk write) are never
+        # subject to reachability checks.
+        self.src: int | None = None
+        self.dst: int | None = None
         self.on_complete: list[Callable[[Transfer], None]] = []
         self.on_failed: list[Callable[[Transfer, str], None]] = []
         self.on_slice: list[Callable[[Transfer, int], None]] = []
@@ -107,6 +113,14 @@ class TransferManager:
         # fault subsystem consults this registry to find the transfers a
         # node crash tears down or a flow interruption may hit.
         self._live: dict[int, Transfer] = {}
+        # Reachability oracle installed by the cluster only while a
+        # network partition is active (None = fully connected, keeping
+        # the per-slice launch path free of overhead). Takes two node
+        # ids and returns whether traffic may flow between them.
+        self.reachability: Callable[[int, int], bool] | None = None
+        # Transfers parked because their endpoints straddle a partition
+        # cut, keyed by id for deterministic heal-time release order.
+        self._stalled: dict[int, Transfer] = {}
 
     def live_transfers(self, tag: str | None = None) -> list[Transfer]:
         """Live transfers (optionally one traffic tag), ordered by id.
@@ -183,6 +197,62 @@ class TransferManager:
             )
         self._try_launch(transfer)
 
+    def stall(self, transfer: Transfer) -> None:
+        """Park a live transfer whose endpoints straddle a partition cut.
+
+        The in-flight slice is dropped (its packets are blackholed, so
+        the whole slice is re-sent after the cut heals) and no further
+        slices launch until :meth:`unstall_all` releases the transfer.
+        Unlike :meth:`pause`, stalling is involuntary: Chameleon's phase
+        machinery resumes *paused* transfers freely, but a stalled one
+        stays parked until connectivity returns. No-op unless live.
+        """
+        if transfer.stalled or not transfer.active:
+            return
+        transfer.stalled = True
+        self._stalled[transfer.id] = transfer
+        if transfer._inflight is not None:
+            self.scheduler.cancel_flow(transfer._inflight)
+            transfer._inflight = None
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("transfers.stalled").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "transfer.stalled",
+                track="tasks",
+                task=transfer.name,
+                task_id=transfer.id,
+                completed_slices=transfer.completed_slices,
+            )
+
+    def unstall_all(self) -> list[Transfer]:
+        """Release every stalled transfer, in id order.
+
+        Each released transfer immediately re-checks reachability in
+        ``_try_launch``, so under overlapping partitions a transfer that
+        is still cut off simply parks again. Returns the transfers that
+        were released (whether or not they re-stalled).
+        """
+        released = []
+        for _id, transfer in sorted(self._stalled.items()):
+            transfer.stalled = False
+            released.append(transfer)
+        self._stalled.clear()
+        tracer = get_tracer()
+        for transfer in released:
+            if tracer.enabled:
+                tracer.instant(
+                    "transfer.unstalled",
+                    track="tasks",
+                    task=transfer.name,
+                    task_id=transfer.id,
+                )
+            if transfer.active:
+                self._try_launch(transfer)
+        return released
+
     def cancel(self, transfer: Transfer) -> None:
         """Abort the transfer: in-flight slice is dropped, no callbacks fire.
 
@@ -193,6 +263,7 @@ class TransferManager:
             return
         transfer.cancelled = True
         self._live.pop(transfer.id, None)
+        self._stalled.pop(transfer.id, None)
         if transfer._obs_span is not None:
             transfer._obs_span.finish(status="cancelled")
             transfer._obs_span = None
@@ -269,10 +340,19 @@ class TransferManager:
                 return False
         return True
 
+    def _unreachable(self, transfer: Transfer) -> bool:
+        return (
+            self.reachability is not None
+            and transfer.src is not None
+            and transfer.dst is not None
+            and not self.reachability(transfer.src, transfer.dst)
+        )
+
     def _try_launch(self, transfer: Transfer) -> None:
         if (
             not transfer.active
             or transfer.paused
+            or transfer.stalled
             or transfer._inflight is not None
         ):
             return
@@ -280,6 +360,11 @@ class TransferManager:
         if idx >= transfer.num_slices:
             return
         if not self._deps_ready(transfer, idx):
+            return
+        if self._unreachable(transfer):
+            # A new cross-cut slice is refused at the source: the
+            # transfer parks until the partition heals.
+            self.stall(transfer)
             return
         flow = Flow(
             name=f"{transfer.name}[{idx}]",

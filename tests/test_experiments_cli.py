@@ -7,7 +7,7 @@ from repro.experiments.__main__ import EXPERIMENTS, main
 
 class TestCLI:
     def test_all_experiments_registered(self):
-        expected = {f"exp{i:02d}" for i in range(1, 20)} | {
+        expected = {f"exp{i:02d}" for i in range(1, 21)} | {
             "fig2",
             "fig4",
             "fig5",

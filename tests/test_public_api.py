@@ -29,11 +29,13 @@ FROZEN_SURFACE = (
     "ECPipe",
     "ErasureCode",
     "ExperimentConfig",
+    "FailureDetector",
     "FailureInjector",
     "FailureReport",
     "FaultEvent",
     "FaultTimeline",
     "FlowInterruption",
+    "HedgePolicy",
     "HookEmitter",
     "IntegrityLedger",
     "IntegrityRecord",
@@ -47,6 +49,7 @@ FROZEN_SURFACE = (
     "LatentSectorError",
     "Lease",
     "LinkStatsCollector",
+    "NetworkPartition",
     "Node",
     "NodeCrash",
     "PPR",
@@ -83,6 +86,7 @@ FROZEN_SURFACE = (
     "TraceClient",
     "TransientStraggler",
     "TransitioningTrace",
+    "audit_fenced_writes",
     "execute_plan",
     "gbps",
     "interference_degree",
